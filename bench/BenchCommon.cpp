@@ -1,0 +1,112 @@
+//===- bench/BenchCommon.cpp ---------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/NwchemGen.h"
+#include "baselines/Ttgt.h"
+#include "core/Cogent.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace cogent;
+using namespace cogent::bench;
+
+std::vector<ComparisonRow>
+cogent::bench::runTccgComparison(const gpu::DeviceSpec &Device,
+                                 unsigned ElementSize) {
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  core::Cogent Generator(Device);
+
+  std::vector<ComparisonRow> Rows;
+  for (const suite::SuiteEntry &Entry : suite::tccgSuite()) {
+    ir::Contraction TC = Entry.contraction();
+
+    ComparisonRow Row;
+    Row.Id = Entry.Id;
+    Row.Name = Entry.Name;
+    Row.Spec = TC.toString();
+    Row.Category = suite::categoryName(Entry.Cat);
+
+    core::CogentOptions Options;
+    Options.ElementSize = ElementSize;
+    ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+    if (Result) {
+      Row.CogentGflops = Result->best().Predicted.Gflops;
+      Row.CogentConfig = Result->best().Config.toString();
+      Row.CogentElapsedMs = Result->ElapsedMs;
+    }
+    Row.NwchemGflops =
+        baselines::estimateNwchem(TC, Device, Calib, ElementSize).Gflops;
+    Row.TalshGflops =
+        baselines::estimateTtgt(TC, Device, Calib, ElementSize).Gflops;
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+double cogent::bench::geomeanSpeedup(const std::vector<ComparisonRow> &Rows,
+                                     bool UseNwchem) {
+  double LnSum = 0.0;
+  size_t Count = 0;
+  for (const ComparisonRow &Row : Rows) {
+    double Other = UseNwchem ? Row.NwchemGflops : Row.TalshGflops;
+    if (Row.CogentGflops <= 0.0 || Other <= 0.0)
+      continue;
+    LnSum += std::log(Row.CogentGflops / Other);
+    ++Count;
+  }
+  return Count == 0 ? 0.0 : std::exp(LnSum / static_cast<double>(Count));
+}
+
+void cogent::bench::printComparison(const std::vector<ComparisonRow> &Rows,
+                                    const gpu::DeviceSpec &Device,
+                                    const char *FigureLabel) {
+  std::printf("%s — TCCG benchmark on %s (double precision, modeled)\n",
+              FigureLabel, Device.Name.c_str());
+  std::printf("%-3s %-9s %-20s %-8s %9s %9s %9s   %s\n", "#", "name", "spec",
+              "family", "COGENT", "NWChem", "TAL_SH", "winning mapping");
+  for (const ComparisonRow &Row : Rows)
+    std::printf("%-3d %-9s %-20s %-8s %9.1f %9.1f %9.1f   %s\n", Row.Id,
+                Row.Name.c_str(), Row.Spec.c_str(), Row.Category.c_str(),
+                Row.CogentGflops, Row.NwchemGflops, Row.TalshGflops,
+                Row.CogentConfig.c_str());
+
+  // Per-category and overall speedup summaries (paper's in-text numbers).
+  std::map<std::string, std::vector<ComparisonRow>> ByCategory;
+  for (const ComparisonRow &Row : Rows)
+    ByCategory[Row.Category].push_back(Row);
+
+  std::printf("\nSpeedup of COGENT (geometric mean; max in parentheses)\n");
+  auto maxSpeedup = [](const std::vector<ComparisonRow> &Set, bool Nw) {
+    double Max = 0.0;
+    for (const ComparisonRow &Row : Set) {
+      double Other = Nw ? Row.NwchemGflops : Row.TalshGflops;
+      if (Other > 0.0)
+        Max = std::max(Max, Row.CogentGflops / Other);
+    }
+    return Max;
+  };
+  for (const auto &[Category, Set] : ByCategory)
+    std::printf("  %-8s vs NWChem %5.2fx (%4.1fx)   vs TAL_SH %5.2fx "
+                "(%4.1fx)\n",
+                Category.c_str(), geomeanSpeedup(Set, true),
+                maxSpeedup(Set, true), geomeanSpeedup(Set, false),
+                maxSpeedup(Set, false));
+  std::printf("  %-8s vs NWChem %5.2fx (%4.1fx)   vs TAL_SH %5.2fx "
+              "(%4.1fx)\n",
+              "ALL", geomeanSpeedup(Rows, true), maxSpeedup(Rows, true),
+              geomeanSpeedup(Rows, false), maxSpeedup(Rows, false));
+
+  double TotalGenMs = 0.0;
+  for (const ComparisonRow &Row : Rows)
+    TotalGenMs += Row.CogentElapsedMs;
+  std::printf("\nCOGENT total code-generation time for the 48 kernels: "
+              "%.0f ms\n",
+              TotalGenMs);
+}

@@ -1,0 +1,59 @@
+//===- bench/BenchCommon.h - Shared harness code for the figures ----------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the per-figure benchmark binaries: runs the three
+/// frameworks (COGENT, the NWChem-style generator, the TAL_SH-style TTGT
+/// pipeline) over TCCG suite entries on a simulated device and prints the
+/// rows each paper figure plots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_BENCH_BENCHCOMMON_H
+#define COGENT_BENCH_BENCHCOMMON_H
+
+#include "gpu/DeviceSpec.h"
+#include "suite/TccgSuite.h"
+
+#include <string>
+#include <vector>
+
+namespace cogent {
+namespace bench {
+
+/// One x-axis position of Fig. 4 / Fig. 5.
+struct ComparisonRow {
+  int Id = 0;
+  std::string Name;
+  std::string Spec;
+  std::string Category;
+  double CogentGflops = 0.0;
+  double NwchemGflops = 0.0;
+  double TalshGflops = 0.0;
+  /// The winning mapping, for the appendix-style dump.
+  std::string CogentConfig;
+  /// COGENT generation wall-clock, ms.
+  double CogentElapsedMs = 0.0;
+};
+
+/// Runs the full 48-entry TCCG comparison (double precision, as in the
+/// paper's Figs. 4/5) on \p Device.
+std::vector<ComparisonRow> runTccgComparison(const gpu::DeviceSpec &Device,
+                                             unsigned ElementSize);
+
+/// Prints the figure: one row per contraction plus per-category and overall
+/// geometric-mean/maximum speedup summaries (the paper's in-text numbers).
+void printComparison(const std::vector<ComparisonRow> &Rows,
+                     const gpu::DeviceSpec &Device, const char *FigureLabel);
+
+/// Geometric mean of CogentGflops / Other over rows (Other selected by
+/// \p UseNwchem).
+double geomeanSpeedup(const std::vector<ComparisonRow> &Rows, bool UseNwchem);
+
+} // namespace bench
+} // namespace cogent
+
+#endif // COGENT_BENCH_BENCHCOMMON_H

@@ -1,0 +1,28 @@
+//===- bench/TcBenchCommon.h - Shared harness for Figs. 6/7 ----------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the Tensor Comprehensions comparison (paper
+/// Figs. 6/7): COGENT vs TC-without-tuning vs TC-with-genetic-tuning on the
+/// SD2 CCSD(T) contractions, single precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_BENCH_TCBENCHCOMMON_H
+#define COGENT_BENCH_TCBENCHCOMMON_H
+
+#include "gpu/DeviceSpec.h"
+
+namespace cogent {
+namespace bench {
+
+/// Runs and prints the SD2 single-precision comparison on \p Device.
+void runTcComparison(const gpu::DeviceSpec &Device, const char *FigureLabel);
+
+} // namespace bench
+} // namespace cogent
+
+#endif // COGENT_BENCH_TCBENCHCOMMON_H

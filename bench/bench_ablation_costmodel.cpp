@@ -1,0 +1,156 @@
+//===- bench/bench_ablation_costmodel.cpp - Cost-model quality ablation -----===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation A (DESIGN.md): how good is the Algorithm-3 analytic transaction
+/// model at ranking configurations without running them? For a set of TCCG
+/// entries at simulation-friendly sizes, this harness compares the analytic
+/// estimate against the simulator's exact warp-level transaction counts
+/// (accuracy + Spearman rank correlation) and reports the top-1 regret: the
+/// simulated performance of the model-chosen configuration relative to the
+/// best configuration in the sample.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CostModel.h"
+#include "core/Enumerator.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "gpu/PerfModel.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+using namespace cogent;
+using ir::Operand;
+
+namespace {
+
+/// Spearman rank correlation of two equally sized samples.
+double spearman(const std::vector<double> &X, const std::vector<double> &Y) {
+  auto ranks = [](const std::vector<double> &Values) {
+    std::vector<size_t> Order(Values.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    std::sort(Order.begin(), Order.end(),
+              [&](size_t I, size_t J) { return Values[I] < Values[J]; });
+    std::vector<double> Rank(Values.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Rank[Order[I]] = static_cast<double>(I);
+    return Rank;
+  };
+  std::vector<double> RX = ranks(X), RY = ranks(Y);
+  double MeanX = 0, MeanY = 0;
+  for (size_t I = 0; I < RX.size(); ++I) {
+    MeanX += RX[I];
+    MeanY += RY[I];
+  }
+  MeanX /= RX.size();
+  MeanY /= RY.size();
+  double Num = 0, DX = 0, DY = 0;
+  for (size_t I = 0; I < RX.size(); ++I) {
+    Num += (RX[I] - MeanX) * (RY[I] - MeanY);
+    DX += (RX[I] - MeanX) * (RX[I] - MeanX);
+    DY += (RY[I] - MeanY) * (RY[I] - MeanY);
+  }
+  return DX > 0 && DY > 0 ? Num / std::sqrt(DX * DY) : 1.0;
+}
+
+} // namespace
+
+int main() {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  const int SuiteIds[] = {1, 5, 9, 12, 13, 20, 31, 40};
+  constexpr int64_t ScaledExtent = 10;
+  constexpr size_t MaxConfigs = 24;
+
+  std::printf("Ablation A — Algorithm-3 cost model vs simulator-exact "
+              "transactions (scaled sizes, extent<=%lld)\n",
+              static_cast<long long>(ScaledExtent));
+  std::printf("%-9s %8s %12s %12s %10s %10s\n", "name", "configs",
+              "est/exact", "spearman", "top1 GF", "best GF");
+
+  for (int Id : SuiteIds) {
+    const suite::SuiteEntry &Entry = suite::suiteEntry(Id);
+    ir::Contraction TC = Entry.contractionScaled(ScaledExtent);
+
+    core::EnumerationOptions Options;
+    Options.MinThreadBlocks = 1;
+    Options.MinOccupancy = 0.0;
+    core::Enumerator Enum(TC, Device, Options);
+    std::vector<core::KernelConfig> Configs = Enum.enumerate();
+    // Pre-rank by the analytic model so the sample always contains the
+    // model's top picks (otherwise top-1 regret would compare arbitrary
+    // strata).
+    std::sort(Configs.begin(), Configs.end(),
+              [&](const core::KernelConfig &X, const core::KernelConfig &Y) {
+                core::KernelPlan PX(TC, X), PY(TC, Y);
+                return core::estimateTransactions(PX, 8).total() <
+                       core::estimateTransactions(PY, 8).total();
+              });
+    if (Configs.size() > MaxConfigs) {
+      // Model top half + a stratified sample of the rest.
+      std::vector<core::KernelConfig> Sampled(
+          Configs.begin(), Configs.begin() + MaxConfigs / 2);
+      size_t Stride = (Configs.size() - MaxConfigs / 2) / (MaxConfigs / 2);
+      for (size_t I = MaxConfigs / 2;
+           I < Configs.size() && Sampled.size() < MaxConfigs; I += Stride)
+        Sampled.push_back(Configs[I]);
+      Configs = std::move(Sampled);
+    }
+
+    Rng Generator(1234);
+    tensor::Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+    tensor::Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+    A.fillRandom(Generator);
+    B.fillRandom(Generator);
+    tensor::Tensor<double> C = tensor::makeOperand<double>(TC, Operand::C);
+
+    std::vector<double> Estimated, Exact, SimGflops;
+    for (const core::KernelConfig &Config : Configs) {
+      core::KernelPlan Plan(TC, Config);
+      Estimated.push_back(
+          core::estimateTransactions(Plan, 8, Device.TransactionBytes)
+              .total());
+      gpu::SimResult Sim = gpu::simulateKernel(Plan, C, A, B);
+      Exact.push_back(static_cast<double>(Sim.totalTransactions()));
+      gpu::KernelProfile Profile =
+          gpu::makeProfileFromSim(Plan, Device, 8, Sim);
+      SimGflops.push_back(
+          gpu::estimateKernelTime(Device, Calib, Profile).Gflops);
+    }
+
+    // Mean multiplicative error of the analytic estimate.
+    double LnErr = 0.0;
+    for (size_t I = 0; I < Estimated.size(); ++I)
+      LnErr += std::log(Estimated[I] / Exact[I]);
+    double MeanRatio = std::exp(LnErr / Estimated.size());
+
+    // Model-chosen config = argmin estimated transactions.
+    size_t Chosen = 0, Best = 0;
+    for (size_t I = 1; I < Estimated.size(); ++I) {
+      if (Estimated[I] < Estimated[Chosen])
+        Chosen = I;
+      if (SimGflops[I] > SimGflops[Best])
+        Best = I;
+    }
+
+    std::printf("%-9s %8zu %12.3f %12.3f %10.1f %10.1f\n",
+                Entry.Name.c_str(), Configs.size(), MeanRatio,
+                spearman(Estimated, Exact), SimGflops[Chosen],
+                SimGflops[Best]);
+  }
+  std::printf("\nest/exact ~1 and spearman ~1 mean Algorithm 3 ranks "
+              "configurations like the exact counter; top1 close to best "
+              "means the model-driven pick loses little performance.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- bench/bench_ablation_pipeline.cpp - Double-buffering ablation --------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation D: the effect of software-pipelining the staging (double-
+/// buffered shared memory). Pipelining cuts the exposed non-overlap slack
+/// at the cost of twice the shared-memory footprint, which can reduce
+/// occupancy — the classic trade-off. Reported per TCCG family
+/// representative on both devices.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "core/CostModel.h"
+#include "core/KernelPlan.h"
+#include "gpu/Occupancy.h"
+#include "suite/TccgSuite.h"
+
+#include <cstdio>
+
+using namespace cogent;
+
+int main() {
+  const int SuiteIds[] = {1, 9, 12, 20, 31, 40};
+
+  for (const gpu::DeviceSpec &Device : {gpu::makeP100(), gpu::makeV100()}) {
+    gpu::Calibration Calib = gpu::makeCalibration(Device);
+    core::Cogent Generator(Device);
+    std::printf("Ablation D — double-buffered staging on %s (double "
+                "precision, modeled)\n",
+                Device.Name.c_str());
+    std::printf("%-9s %12s %12s %8s %12s %12s\n", "name", "classic GF",
+                "pipelined", "gain", "occ classic", "occ piped");
+
+    for (int Id : SuiteIds) {
+      const suite::SuiteEntry &Entry = suite::suiteEntry(Id);
+      ir::Contraction TC = Entry.contraction();
+      ErrorOr<core::GenerationResult> Result = Generator.generate(TC);
+      if (!Result)
+        continue;
+      core::KernelPlan Plan(TC, Result->best().Config);
+
+      gpu::KernelProfile Classic =
+          core::makeKernelProfile(Plan, Device, 8);
+      gpu::PerfEstimate ClassicEst =
+          gpu::estimateKernelTime(Device, Calib, Classic);
+
+      // Pipelined: doubled shared memory changes occupancy; loads overlap.
+      gpu::KernelProfile Piped = Classic;
+      Piped.SoftwarePipelined = true;
+      gpu::BlockResources Block;
+      Block.ThreadsPerBlock =
+          static_cast<unsigned>(Plan.threadsPerBlock());
+      Block.SharedMemBytes =
+          static_cast<unsigned>(2 * Plan.config().smemBytes(8));
+      Block.RegistersPerThread = Plan.config().registersPerThread(8);
+      gpu::OccupancyResult PipedOcc = gpu::computeOccupancy(Device, Block);
+      Piped.Occupancy = PipedOcc.Occupancy;
+      Piped.WaveEff = gpu::waveEfficiency(Device, Plan.numBlocks(),
+                                          PipedOcc.BlocksPerSM);
+      gpu::PerfEstimate PipedEst =
+          gpu::estimateKernelTime(Device, Calib, Piped);
+
+      std::printf("%-9s %12.1f %12.1f %7.1f%% %11.1f%% %11.1f%%\n",
+                  Entry.Name.c_str(), ClassicEst.Gflops, PipedEst.Gflops,
+                  100.0 * (PipedEst.Gflops / ClassicEst.Gflops - 1.0),
+                  100.0 * Classic.Occupancy, 100.0 * Piped.Occupancy);
+    }
+    std::printf("\n");
+  }
+  std::printf("Pipelining pays when the doubled footprint leaves occupancy "
+              "intact; when it evicts a resident block, the bandwidth loss "
+              "can outweigh the overlap gain.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- bench/bench_cpu_reference.cpp - Measured CPU TTGT reference ----------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's related-work aside: it "benchmark[s] achievable performance
+/// for TTGT using HPTT on a multicore CPU" against GETT/TBLIS-class direct
+/// CPU contractions. This harness produces the analogous reference with
+/// this repository's own CPU substrates — *actually measured* wall-clock,
+/// not modeled: the blocked permutation library plus the blocked GEMM run
+/// the TTGT pipeline on host, and the naive loop nest provides the direct
+/// lower bound. It also grounds the simulated-GPU numbers: the modeled
+/// V100 GFLOPS should exceed this single-core CPU measurement by orders of
+/// magnitude.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Ttgt.h"
+#include "core/Cogent.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+using namespace cogent;
+using ir::Operand;
+
+namespace {
+
+double secondsOf(const std::function<void()> &Body) {
+  auto Start = std::chrono::steady_clock::now();
+  Body();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+int main() {
+  // Modest sizes so the naive loop nest stays tractable.
+  struct Case {
+    int SuiteId;
+    int64_t Extent;
+  };
+  const Case Cases[] = {{1, 48}, {12, 24}, {13, 24}, {31, 10}};
+
+  gpu::DeviceSpec Device = gpu::makeV100();
+  core::Cogent Generator(Device);
+
+  std::printf("Measured single-core CPU reference (this machine) vs the "
+              "modeled V100\n");
+  std::printf("%-9s %-18s %8s | %12s %12s | %14s\n", "name", "spec",
+              "extent", "naive GF", "TTGT-CPU GF", "V100 model GF");
+
+  Rng Rand(3);
+  for (const Case &C : Cases) {
+    const suite::SuiteEntry &Entry = suite::suiteEntry(C.SuiteId);
+    ir::Contraction TC = Entry.contractionScaled(C.Extent);
+    double Flops = TC.flopCount();
+
+    tensor::Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+    tensor::Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+    A.fillRandom(Rand);
+    B.fillRandom(Rand);
+    tensor::Tensor<double> OutNaive =
+        tensor::makeOperand<double>(TC, Operand::C);
+    tensor::Tensor<double> OutTtgt =
+        tensor::makeOperand<double>(TC, Operand::C);
+
+    double NaiveSec =
+        secondsOf([&] { tensor::contractReference(TC, OutNaive, A, B); });
+    double TtgtSec =
+        secondsOf([&] { baselines::runTtgt(TC, OutTtgt, A, B); });
+    double Err = tensor::maxAbsDifference(OutNaive, OutTtgt);
+    if (Err > 1e-9) {
+      std::fprintf(stderr, "%s: CPU paths disagree (%g)\n",
+                   Entry.Name.c_str(), Err);
+      return 1;
+    }
+
+    ErrorOr<core::GenerationResult> Result = Generator.generate(TC, [] {
+      core::CogentOptions Options;
+      Options.Enumeration.MinThreadBlocks = 1;
+      Options.Enumeration.MinOccupancy = 0.0;
+      return Options;
+    }());
+    double ModelGf =
+        Result ? Result->best().Predicted.Gflops : 0.0;
+
+    std::printf("%-9s %-18s %8lld | %12.2f %12.2f | %14.0f\n",
+                Entry.Name.c_str(), Entry.Spec.c_str(),
+                static_cast<long long>(C.Extent), Flops / NaiveSec / 1e9,
+                Flops / TtgtSec / 1e9, ModelGf);
+  }
+  std::printf("\nTTGT-CPU (blocked permute + blocked GEMM) beats the naive "
+              "nest by avoiding strided access — the CPU incarnation of "
+              "the paper's §II argument — while the modeled GPU figures "
+              "sit orders of magnitude above both, as expected for a "
+              "device with ~900 GB/s of DRAM bandwidth.\n");
+  return 0;
+}

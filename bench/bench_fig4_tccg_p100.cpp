@@ -1,0 +1,24 @@
+//===- bench/bench_fig4_tccg_p100.cpp - Paper Fig. 4 -----------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Fig. 4: GFLOPS of COGENT vs the NWChem code
+/// generator vs TAL_SH over the 48 TCCG contractions, double precision, on
+/// the (simulated) Nvidia Pascal P100.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "gpu/DeviceSpec.h"
+
+int main() {
+  cogent::gpu::DeviceSpec Device = cogent::gpu::makeP100();
+  std::vector<cogent::bench::ComparisonRow> Rows =
+      cogent::bench::runTccgComparison(Device, /*ElementSize=*/8);
+  cogent::bench::printComparison(Rows, Device, "Fig. 4");
+  return 0;
+}

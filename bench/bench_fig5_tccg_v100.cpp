@@ -1,0 +1,24 @@
+//===- bench/bench_fig5_tccg_v100.cpp - Paper Fig. 5 -----------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Fig. 5: GFLOPS of COGENT vs the NWChem code
+/// generator vs TAL_SH over the 48 TCCG contractions, double precision, on
+/// the (simulated) Nvidia Volta V100.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "gpu/DeviceSpec.h"
+
+int main() {
+  cogent::gpu::DeviceSpec Device = cogent::gpu::makeV100();
+  std::vector<cogent::bench::ComparisonRow> Rows =
+      cogent::bench::runTccgComparison(Device, /*ElementSize=*/8);
+  cogent::bench::printComparison(Rows, Device, "Fig. 5");
+  return 0;
+}

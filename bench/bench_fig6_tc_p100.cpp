@@ -1,0 +1,21 @@
+//===- bench/bench_fig6_tc_p100.cpp - Paper Fig. 6 --------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Fig. 6: COGENT vs Tensor Comprehensions
+/// (untuned and genetically autotuned) on the SD2 CCSD(T) contractions,
+/// single precision, (simulated) P100.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TcBenchCommon.h"
+
+#include "gpu/DeviceSpec.h"
+
+int main() {
+  cogent::bench::runTcComparison(cogent::gpu::makeP100(), "Fig. 6");
+  return 0;
+}

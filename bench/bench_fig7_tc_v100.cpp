@@ -1,0 +1,21 @@
+//===- bench/bench_fig7_tc_v100.cpp - Paper Fig. 7 --------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Fig. 7: COGENT vs Tensor Comprehensions
+/// (untuned and genetically autotuned) on the SD2 CCSD(T) contractions,
+/// single precision, (simulated) V100.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TcBenchCommon.h"
+
+#include "gpu/DeviceSpec.h"
+
+int main() {
+  cogent::bench::runTcComparison(cogent::gpu::makeV100(), "Fig. 7");
+  return 0;
+}

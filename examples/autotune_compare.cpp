@@ -1,0 +1,78 @@
+//===- examples/autotune_compare.cpp - Model-driven vs autotuned search -----===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recreates the paper's headline methodology contrast (§IV, Fig. 8) as an
+/// interactive example: for one CCSD(T) contraction, (a) COGENT ranks its
+/// pruned configuration space with the analytic DRAM-transaction model in
+/// milliseconds, while (b) a Tensor-Comprehensions-style genetic autotuner
+/// "benchmarks" 2000 candidates, which on real hardware costs hours. Prints
+/// the convergence curve and the final gap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/TcTuner.h"
+#include "core/Cogent.h"
+#include "gpu/DeviceSpec.h"
+#include "suite/TccgSuite.h"
+
+#include <cstdio>
+
+using namespace cogent;
+
+int main() {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  const suite::SuiteEntry &Entry = suite::suiteEntry(31); // sd2_1
+  ir::Contraction TC = Entry.contraction();
+
+  std::printf("Search-strategy comparison on %s (%s, single precision)\n\n",
+              Entry.Name.c_str(), Entry.Spec.c_str());
+
+  // (a) Model-driven: enumerate + prune + rank, no execution at all.
+  core::Cogent Generator(Device);
+  core::CogentOptions Options;
+  Options.ElementSize = 4;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+  if (!Result) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 Result.errorMessage().c_str());
+    return 1;
+  }
+  std::printf("COGENT (model-driven)\n");
+  std::printf("  candidates ranked : %llu (of %llu raw, %.0f naive)\n",
+              static_cast<unsigned long long>(Result->Stats.Survivors),
+              static_cast<unsigned long long>(Result->Stats.RawConfigs),
+              core::Enumerator::naiveSearchSpace(TC));
+  std::printf("  wall-clock        : %.1f ms\n", Result->ElapsedMs);
+  std::printf("  chosen mapping    : %s\n",
+              Result->best().Config.toString().c_str());
+  std::printf("  predicted         : %.0f GFLOPS\n\n",
+              Result->best().Predicted.Gflops);
+
+  // (b) Genetic autotuning over the raw space, TC style.
+  baselines::TcTunerOptions TunerOptions;
+  baselines::TcTuneResult Tuned = baselines::tuneTc(TC, Device, TunerOptions);
+  std::printf("Tensor-Comprehensions-style genetic autotuner\n");
+  std::printf("  untuned schedule  : %.2f GFLOPS\n", Tuned.UntunedGflops);
+  std::printf("  convergence (best GFLOPS after each generation of 100):\n");
+  std::printf("    ");
+  for (double Best : Tuned.BestGflopsPerGeneration)
+    std::printf("%.0f ", Best);
+  std::printf("\n");
+  std::printf("  tuned best        : %.0f GFLOPS\n", Tuned.BestGflops);
+  std::printf("  candidates run    : %llu\n",
+              static_cast<unsigned long long>(Tuned.CandidatesEvaluated));
+  std::printf("  modeled tuning    : %.0f s on hardware (paper: ~8514 s)\n\n",
+              Tuned.ModeledTuningSeconds);
+
+  std::printf("Bottom line: %.0fx less search time for %.2fx more "
+              "performance.\n",
+              Tuned.ModeledTuningSeconds * 1e3 /
+                  std::max(Result->ElapsedMs, 0.1),
+              Result->best().Predicted.Gflops /
+                  std::max(Tuned.BestGflops, 1.0));
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- examples/ccsd_triples.cpp - CCSD(T) triples workload ----------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload that motivates the paper: the 18 CCSD(T) triples
+/// contractions from quantum chemistry (6D = 4D * 4D). For each one, this
+/// example generates a kernel, verifies the chosen schedule numerically on
+/// the simulator against the reference contraction at a reduced tile size,
+/// and contrasts the predicted performance with the TTGT baseline — the
+/// configuration where COGENT's direct approach wins big because TTGT
+/// spends its time transposing the 6D output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Ttgt.h"
+#include "core/Cogent.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <cstdio>
+
+using namespace cogent;
+using ir::Operand;
+
+int main() {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  core::Cogent Generator(Device);
+
+  std::printf("CCSD(T) triples contractions on the simulated %s (double "
+              "precision)\n\n",
+              Device.Name.c_str());
+  std::printf("%-7s %-18s %38s %9s %9s %8s %10s\n", "name", "spec",
+              "chosen mapping", "COGENT", "TTGT", "speedup", "verified");
+
+  Rng Generator2(2026);
+  double WorstError = 0.0;
+  for (const suite::SuiteEntry &Entry :
+       suite::suiteByCategory(suite::Category::CcsdT)) {
+    ir::Contraction TC = Entry.contraction();
+    ErrorOr<core::GenerationResult> Result = Generator.generate(TC);
+    if (!Result) {
+      std::fprintf(stderr, "%s: %s\n", Entry.Name.c_str(),
+                   Result.errorMessage().c_str());
+      return 1;
+    }
+    baselines::TtgtEstimate Ttgt =
+        baselines::estimateTtgt(TC, Device, Calib, 8);
+
+    // Verify the chosen schedule numerically at a reduced tile size (the
+    // schedule is size-generic; extents 6 keep the simulation instant).
+    ir::Contraction Small = Entry.contractionScaled(6);
+    core::KernelPlan Plan(Small, Result->best().Config.clampedTo(Small));
+    tensor::Tensor<double> A = tensor::makeOperand<double>(Small, Operand::A);
+    tensor::Tensor<double> B = tensor::makeOperand<double>(Small, Operand::B);
+    A.fillRandom(Generator2);
+    B.fillRandom(Generator2);
+    tensor::Tensor<double> Expected =
+        tensor::makeOperand<double>(Small, Operand::C);
+    tensor::contractReference(Small, Expected, A, B);
+    tensor::Tensor<double> Actual =
+        tensor::makeOperand<double>(Small, Operand::C);
+    gpu::simulateKernel(Plan, Actual, A, B);
+    double Error = tensor::maxAbsDifference(Expected, Actual);
+    WorstError = std::max(WorstError, Error);
+
+    std::printf("%-7s %-18s %38s %8.0f %9.0f %7.1fx %10s\n",
+                Entry.Name.c_str(), Entry.Spec.c_str(),
+                Result->best().Config.toString().c_str(),
+                Result->best().Predicted.Gflops, Ttgt.Gflops,
+                Result->best().Predicted.Gflops / Ttgt.Gflops,
+                Error < 1e-10 ? "ok" : "FAIL");
+  }
+  std::printf("\nWorst simulator-vs-reference error: %.3g\n", WorstError);
+  std::printf("TTGT loses here because every contraction transposes a 6D "
+              "output tensor that dwarfs both inputs.\n");
+  return WorstError < 1e-10 ? 0 : 1;
+}

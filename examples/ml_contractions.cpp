@@ -1,0 +1,82 @@
+//===- examples/ml_contractions.cpp - Machine-learning workloads -----------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor-times-matrix contractions of the kind that appear in Tucker
+/// decompositions and tensor-network machine-learning models (the TCCG
+/// suite's first family). These are small contractions where kernel-launch
+/// and transposition overheads matter: the example generates COGENT kernels
+/// for each, runs them functionally through the simulator against the
+/// reference oracle, and compares the modeled execution time with the TTGT
+/// pipeline stage by stage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Ttgt.h"
+#include "core/Cogent.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <cstdio>
+
+using namespace cogent;
+using ir::Operand;
+
+int main() {
+  gpu::DeviceSpec Device = gpu::makeP100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  core::Cogent Generator(Device);
+
+  std::printf("Machine-learning tensor contractions on the simulated %s\n\n",
+              Device.Name.c_str());
+  std::printf("%-6s %-14s %10s %13s %13s %13s %9s\n", "name", "spec",
+              "COGENT ms", "TTGT total", "..transpose", "..GEMM",
+              "verified");
+
+  Rng Rand(7);
+  bool AllOk = true;
+  for (const suite::SuiteEntry &Entry :
+       suite::suiteByCategory(suite::Category::MachineLearning)) {
+    ir::Contraction TC = Entry.contraction();
+    ErrorOr<core::GenerationResult> Result = Generator.generate(TC);
+    if (!Result) {
+      std::fprintf(stderr, "%s: %s\n", Entry.Name.c_str(),
+                   Result.errorMessage().c_str());
+      return 1;
+    }
+    baselines::TtgtEstimate Ttgt =
+        baselines::estimateTtgt(TC, Device, Calib, 8);
+
+    // Functional check at reduced mode sizes.
+    ir::Contraction Small = Entry.contractionScaled(8);
+    core::KernelPlan Plan(Small, Result->best().Config.clampedTo(Small));
+    tensor::Tensor<double> A = tensor::makeOperand<double>(Small, Operand::A);
+    tensor::Tensor<double> B = tensor::makeOperand<double>(Small, Operand::B);
+    A.fillRandom(Rand);
+    B.fillRandom(Rand);
+    tensor::Tensor<double> Expected =
+        tensor::makeOperand<double>(Small, Operand::C);
+    tensor::contractReference(Small, Expected, A, B);
+    tensor::Tensor<double> Actual =
+        tensor::makeOperand<double>(Small, Operand::C);
+    gpu::simulateKernel(Plan, Actual, A, B);
+    bool Ok = tensor::maxAbsDifference(Expected, Actual) < 1e-10;
+    AllOk &= Ok;
+
+    std::printf("%-6s %-14s %9.3f %12.3f %13.3f %13.3f %9s\n",
+                Entry.Name.c_str(), Entry.Spec.c_str(),
+                Result->best().Predicted.TimeMs, Ttgt.TimeMs,
+                Ttgt.TransposeMs, Ttgt.GemmMs, Ok ? "ok" : "FAIL");
+  }
+
+  std::printf("\nAt these mode sizes a single direct kernel beats the "
+              "four-stage TTGT pipeline: the GEMM itself is cheap, so the "
+              "transposes and extra launches dominate TTGT's budget.\n");
+  return AllOk ? 0 : 1;
+}

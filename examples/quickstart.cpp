@@ -1,0 +1,70 @@
+//===- examples/quickstart.cpp - Five-minute tour of the API ---------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest useful COGENT program: describe a tensor contraction (the
+/// paper's Eq. 1), pick a target GPU, and generate a CUDA kernel. Prints
+/// the model-chosen mapping, the predicted performance, and the generated
+/// source.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "gpu/DeviceSpec.h"
+
+#include <cstdio>
+
+using namespace cogent;
+
+int main() {
+  // Eq. 1 of the paper: C[a,b,c,d] = sum_{e,f} A[a,e,b,f] * B[d,f,c,e].
+  // Notation is "C-A-B"; extents are a *representative* problem size used
+  // for performance modeling — the generated kernel runs for any size.
+  const char *Spec = "abcd-aebf-dfce";
+  std::vector<std::pair<char, int64_t>> Extents = {
+      {'a', 72}, {'b', 72}, {'c', 72}, {'d', 72}, {'e', 72}, {'f', 72}};
+
+  core::Cogent Generator(gpu::makeV100());
+  ErrorOr<core::GenerationResult> Result = Generator.generate(Spec, Extents);
+  if (!Result) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 Result.errorMessage().c_str());
+    return 1;
+  }
+
+  const core::GeneratedKernel &Best = Result->best();
+  std::printf("Contraction      : %s\n", Spec);
+  std::printf("Chosen mapping   : %s\n", Best.Config.toString().c_str());
+  std::printf("Thread block     : %lld x %lld threads, %lld x %lld register "
+              "tile\n",
+              static_cast<long long>(Best.Config.tbxSize()),
+              static_cast<long long>(Best.Config.tbySize()),
+              static_cast<long long>(Best.Config.regXSize()),
+              static_cast<long long>(Best.Config.regYSize()));
+  std::printf("Shared memory    : %lld bytes/block\n",
+              static_cast<long long>(Best.Config.smemBytes(8)));
+  std::printf("Occupancy        : %.1f%% (%u blocks/SM, limited by %s)\n",
+              100.0 * Best.Occupancy.Occupancy, Best.Occupancy.BlocksPerSM,
+              Best.Occupancy.Limiter);
+  std::printf("Modeled traffic  : %.3g DRAM transactions\n",
+              Best.Cost.total());
+  std::printf("Predicted perf   : %.0f GFLOPS (%s bound) on V100\n",
+              Best.Predicted.Gflops, Best.Predicted.Bound);
+  std::printf("Search statistics: %llu candidate configs, %llu survived "
+              "pruning, ranked in %.1f ms\n\n",
+              static_cast<unsigned long long>(Result->Stats.RawConfigs),
+              static_cast<unsigned long long>(Result->Stats.Survivors),
+              Result->ElapsedMs);
+
+  std::printf("---------------- generated CUDA ----------------\n%s\n%s",
+              Best.Source.KernelSource.c_str(),
+              Best.Source.DriverSource.c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- examples/triples_pipeline.cpp - A CCSD(T)-style mini-application ----===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application pattern that motivates the paper: NWChem's perturbative
+/// triples correction evaluates a sum of 6D = 4D * 4D contractions into a
+/// shared T3 residual, then reduces T3 against a denominator tensor into a
+/// scalar energy. This mini-app runs the full pipeline at a reduced tile
+/// size through COGENT-generated schedules on the simulator, accumulating
+/// all nine SD2 contraction terms, and cross-checks the final "energy"
+/// against the same pipeline computed with the reference contraction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace cogent;
+using ir::Operand;
+
+int main() {
+  constexpr int64_t Tile = 6; // reduced NWChem tile size for the demo
+  gpu::DeviceSpec Device = gpu::makeV100();
+  core::Cogent Generator(Device);
+  Rng Rand(1234);
+
+  // T3 accumulators: one filled by generated kernels, one by the oracle.
+  std::vector<suite::SuiteEntry> Terms = suite::sd2Set();
+  ir::Contraction First = Terms.front().contractionScaled(Tile);
+  tensor::Tensor<double> T3 = tensor::makeOperand<double>(First, Operand::C);
+  tensor::Tensor<double> T3Ref =
+      tensor::makeOperand<double>(First, Operand::C);
+  std::vector<double> T3Sum(static_cast<size_t>(T3.numElements()), 0.0);
+  std::vector<double> T3RefSum(T3Sum.size(), 0.0);
+
+  std::printf("CCSD(T)-style triples pipeline, tile size %lld, %zu "
+              "contraction terms\n\n",
+              static_cast<long long>(Tile), Terms.size());
+
+  double TotalPredictedMs = 0.0;
+  uint64_t TotalTransactions = 0;
+  for (const suite::SuiteEntry &Entry : Terms) {
+    ir::Contraction TC = Entry.contractionScaled(Tile);
+    ErrorOr<core::GenerationResult> Result = Generator.generate(
+        TC, [] {
+          core::CogentOptions Options;
+          Options.Enumeration.MinThreadBlocks = 1;
+          Options.Enumeration.MinOccupancy = 0.0;
+          return Options;
+        }());
+    if (!Result) {
+      std::fprintf(stderr, "%s: %s\n", Entry.Name.c_str(),
+                   Result.errorMessage().c_str());
+      return 1;
+    }
+
+    tensor::Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+    tensor::Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+    A.fillRandom(Rand);
+    B.fillRandom(Rand);
+
+    core::KernelPlan Plan(TC, Result->best().Config);
+    gpu::SimResult Sim = gpu::simulateKernel(Plan, T3, A, B);
+    tensor::contractReference(TC, T3Ref, A, B);
+    for (size_t I = 0; I < T3Sum.size(); ++I) {
+      T3Sum[I] += T3.at(static_cast<int64_t>(I));
+      T3RefSum[I] += T3Ref.at(static_cast<int64_t>(I));
+    }
+    TotalTransactions += Sim.totalTransactions();
+    TotalPredictedMs += Result->best().Predicted.TimeMs;
+    std::printf("  %-7s %-18s  %-42s\n", Entry.Name.c_str(),
+                Entry.Spec.c_str(), Result->best().Config.toString().c_str());
+  }
+
+  // Energy-style reduction: E = sum T3^2 / (1 + |denominator|), with a
+  // synthetic denominator standing in for the orbital-energy differences.
+  double Energy = 0.0, EnergyRef = 0.0;
+  for (size_t I = 0; I < T3Sum.size(); ++I) {
+    double Denominator = 1.0 + 0.25 * static_cast<double>(I % 17);
+    Energy += T3Sum[I] * T3Sum[I] / Denominator;
+    EnergyRef += T3RefSum[I] * T3RefSum[I] / Denominator;
+  }
+
+  std::printf("\npipeline 'energy'      : %.12f\n", Energy);
+  std::printf("reference 'energy'     : %.12f\n", EnergyRef);
+  std::printf("relative error         : %.3g\n",
+              std::abs(Energy - EnergyRef) / std::abs(EnergyRef));
+  std::printf("simulated transactions : %llu\n",
+              static_cast<unsigned long long>(TotalTransactions));
+  std::printf("predicted GPU time     : %.3f ms for all %zu terms at the "
+              "representative size\n",
+              TotalPredictedMs, Terms.size());
+
+  return std::abs(Energy - EnergyRef) / std::abs(EnergyRef) < 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every benchmark harness,
+# and records the outputs the artifact appendix describes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "==== $b ====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done

@@ -1,0 +1,121 @@
+//===- baselines/NwchemGen.cpp -------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/NwchemGen.h"
+
+#include "core/CostModel.h"
+#include "core/KernelPlan.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cogent;
+using namespace cogent::baselines;
+using cogent::core::IndexTile;
+using cogent::core::KernelConfig;
+using cogent::ir::Contraction;
+using cogent::ir::Operand;
+
+namespace {
+
+/// NWChem hard-codes its mapping instead of searching; the paper attributes
+/// COGENT's advantage to "superior mapping and tile size selection".
+///
+/// Greedy fill toward \p Target walking \p Pool in order (no rotation — the
+/// fixed heuristic always takes the first choice).
+std::vector<IndexTile> greedyFill(const Contraction &TC,
+                                  const std::vector<char> &Pool,
+                                  int64_t Target,
+                                  std::vector<IndexTile> Seed,
+                                  int64_t Product) {
+  for (char Name : Pool) {
+    if (Product >= Target)
+      break;
+    int64_t Remaining = Target / Product;
+    if (Remaining <= 1)
+      break;
+    int64_t Tile = std::min<int64_t>(TC.extent(Name), Remaining);
+    Seed.push_back({Name, Tile});
+    Product *= Tile;
+  }
+  return Seed;
+}
+
+} // namespace
+
+KernelConfig
+cogent::baselines::nwchemConfig(const Contraction &TC,
+                                const NwchemHeuristic &Heuristic) {
+  char OutFvi = TC.fvi(Operand::C);
+  Operand XInput = TC.inputContaining(OutFvi);
+  Operand YInput = XInput == Operand::A ? Operand::B : Operand::A;
+
+  auto externalPool = [&](Operand Input, char Exclude) {
+    std::vector<char> Pool;
+    for (char Name : TC.indices(Input))
+      if (TC.isExternal(Name) && Name != Exclude)
+        Pool.push_back(Name);
+    return Pool;
+  };
+  std::vector<char> XPool = externalPool(XInput, OutFvi);
+  std::vector<char> YPool = externalPool(YInput, 0);
+
+  KernelConfig Config;
+  Config.XInput = XInput;
+
+  // TBx always led by the output FVI.
+  int64_t LeadTile =
+      std::min<int64_t>(TC.extent(OutFvi), Heuristic.TBTarget);
+  Config.TBx = greedyFill(TC, XPool, Heuristic.TBTarget,
+                          {{OutFvi, LeadTile}}, LeadTile);
+  Config.TBy = greedyFill(TC, YPool, Heuristic.TBTarget, {}, 1);
+
+  auto consumed = [&](const std::vector<IndexTile> &List, char Name) {
+    for (const IndexTile &T : List)
+      if (T.Name == Name)
+        return true;
+    return false;
+  };
+  std::vector<char> XLeft, YLeft;
+  for (char Name : XPool)
+    if (!consumed(Config.TBx, Name))
+      XLeft.push_back(Name);
+  for (char Name : YPool)
+    if (!consumed(Config.TBy, Name))
+      YLeft.push_back(Name);
+  Config.RegX = greedyFill(TC, XLeft, Heuristic.RegTarget, {}, 1);
+  Config.RegY = greedyFill(TC, YLeft, Heuristic.RegTarget, {}, 1);
+
+  // NWChem's kernels coalesce the contraction-dimension loads of their own
+  // fixed layouts: stage an internal index that is an input FVI first.
+  std::vector<char> Internals = TC.internalIndices();
+  std::stable_sort(Internals.begin(), Internals.end(),
+                   [&](char X, char Y) {
+                     auto isInputFvi = [&](char Name) {
+                       return Name == TC.fvi(Operand::A) ||
+                              Name == TC.fvi(Operand::B);
+                     };
+                     return isInputFvi(X) > isInputFvi(Y);
+                   });
+  Config.TBk = greedyFill(TC, Internals, Heuristic.TBkTarget, {}, 1);
+
+  assert(Config.validate(TC).empty() && "NWChem heuristic produced an "
+                                        "invalid configuration");
+  return Config;
+}
+
+gpu::PerfEstimate
+cogent::baselines::estimateNwchem(const Contraction &TC,
+                                  const gpu::DeviceSpec &Device,
+                                  const gpu::Calibration &Calib,
+                                  unsigned ElementSize,
+                                  const NwchemHeuristic &Heuristic) {
+  KernelConfig Config = nwchemConfig(TC, Heuristic);
+  core::KernelPlan Plan(TC, Config);
+  gpu::KernelProfile Profile =
+      core::makeKernelProfile(Plan, Device, ElementSize);
+  return gpu::estimateKernelTime(Device, Calib, Profile);
+}

@@ -1,0 +1,91 @@
+//===- baselines/Ttgt.h - TAL_SH-style TTGT baseline -----------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Transpose-Transpose-GEMM-Transpose baseline the paper compares
+/// against (TAL_SH with cuTT transposition and cuBLAS GEMM): permute both
+/// inputs so the contraction indices become a single matrix dimension, run
+/// one GEMM, and permute the result into the output layout. Provides both a
+/// functional CPU execution (validated against the reference contraction)
+/// and a modeled GPU cost built from the transpose and GEMM performance
+/// models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_BASELINES_TTGT_H
+#define COGENT_BASELINES_TTGT_H
+
+#include "blas/Gemm.h"
+#include "gpu/DeviceSpec.h"
+#include "gpu/PerfModel.h"
+#include "ir/Contraction.h"
+#include "tensor/Tensor.h"
+#include "transpose/Permute.h"
+
+#include <vector>
+
+namespace cogent {
+namespace baselines {
+
+/// The matricization plan: permutations (identity ones flagged) and the
+/// resulting GEMM shape.
+struct TtgtPlan {
+  /// Permutes A into TA[externalsOfA (C-ordered), internals (A-ordered)].
+  std::vector<unsigned> PermA;
+  bool PermAIsIdentity = false;
+  /// Permutes B into TB[internals (A-ordered), externalsOfB (C-ordered)].
+  std::vector<unsigned> PermB;
+  bool PermBIsIdentity = false;
+  /// Permutes MC[externalsOfA, externalsOfB] into C's layout.
+  std::vector<unsigned> PermC;
+  bool PermCIsIdentity = false;
+
+  /// GEMM dimensions: TA is M x K, TB is K x N.
+  int64_t M = 1, N = 1, K = 1;
+
+  /// Shapes (column-major) fed to the transpose cost model.
+  std::vector<int64_t> ShapeA, ShapeB, ShapeMC;
+};
+
+/// Builds the matricization plan for \p TC.
+TtgtPlan planTtgt(const ir::Contraction &TC);
+
+/// Functional TTGT execution on the CPU substrate; writes into \p C.
+template <typename ElementT>
+void runTtgt(const ir::Contraction &TC, tensor::Tensor<ElementT> &C,
+             const tensor::Tensor<ElementT> &A,
+             const tensor::Tensor<ElementT> &B);
+
+extern template void runTtgt<double>(const ir::Contraction &,
+                                     tensor::Tensor<double> &,
+                                     const tensor::Tensor<double> &,
+                                     const tensor::Tensor<double> &);
+extern template void runTtgt<float>(const ir::Contraction &,
+                                    tensor::Tensor<float> &,
+                                    const tensor::Tensor<float> &,
+                                    const tensor::Tensor<float> &);
+
+/// Modeled GPU cost of the TTGT pipeline.
+struct TtgtEstimate {
+  double TimeMs = 0.0;
+  double Gflops = 0.0;
+  double TransposeMs = 0.0;
+  double GemmMs = 0.0;
+  /// Extra device memory for the transposed temporaries, bytes.
+  double WorkspaceBytes = 0.0;
+  unsigned KernelLaunches = 0;
+};
+
+/// Predicts TTGT execution time for \p TC on \p Device.
+TtgtEstimate estimateTtgt(const ir::Contraction &TC,
+                          const gpu::DeviceSpec &Device,
+                          const gpu::Calibration &Calib,
+                          unsigned ElementSize);
+
+} // namespace baselines
+} // namespace cogent
+
+#endif // COGENT_BASELINES_TTGT_H

@@ -1,0 +1,72 @@
+//===- blas/Gemm.cpp --------------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blas/Gemm.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cogent;
+using namespace cogent::blas;
+
+namespace {
+constexpr int64_t BlockM = 64;
+constexpr int64_t BlockN = 64;
+constexpr int64_t BlockK = 64;
+} // namespace
+
+template <typename ElementT>
+void cogent::blas::gemm(int64_t M, int64_t N, int64_t K, ElementT Alpha,
+                        const ElementT *A, int64_t Lda, const ElementT *B,
+                        int64_t Ldb, ElementT Beta, ElementT *C, int64_t Ldc) {
+  assert(M >= 0 && N >= 0 && K >= 0 && "negative GEMM dimension");
+  assert(Lda >= std::max<int64_t>(1, M) && Ldb >= std::max<int64_t>(1, K) &&
+         Ldc >= std::max<int64_t>(1, M) && "bad leading dimension");
+
+  // Scale C by beta once up front.
+  for (int64_t J = 0; J < N; ++J) {
+    ElementT *Col = C + J * Ldc;
+    if (Beta == ElementT(0))
+      std::fill(Col, Col + M, ElementT(0));
+    else if (Beta != ElementT(1))
+      for (int64_t I = 0; I < M; ++I)
+        Col[I] *= Beta;
+  }
+  if (K == 0 || Alpha == ElementT(0))
+    return;
+
+  // Blocked loops; the innermost pair is a jki order so the A column walk is
+  // contiguous and C columns are updated streamingly.
+  for (int64_t Jb = 0; Jb < N; Jb += BlockN) {
+    int64_t Je = std::min(Jb + BlockN, N);
+    for (int64_t Kb = 0; Kb < K; Kb += BlockK) {
+      int64_t Ke = std::min(Kb + BlockK, K);
+      for (int64_t Ib = 0; Ib < M; Ib += BlockM) {
+        int64_t Ie = std::min(Ib + BlockM, M);
+        for (int64_t J = Jb; J < Je; ++J) {
+          ElementT *CCol = C + J * Ldc;
+          const ElementT *BCol = B + J * Ldb;
+          for (int64_t Kk = Kb; Kk < Ke; ++Kk) {
+            ElementT Scale = Alpha * BCol[Kk];
+            if (Scale == ElementT(0))
+              continue;
+            const ElementT *ACol = A + Kk * Lda;
+            for (int64_t I = Ib; I < Ie; ++I)
+              CCol[I] += Scale * ACol[I];
+          }
+        }
+      }
+    }
+  }
+}
+
+template void cogent::blas::gemm<float>(int64_t, int64_t, int64_t, float,
+                                        const float *, int64_t, const float *,
+                                        int64_t, float, float *, int64_t);
+template void cogent::blas::gemm<double>(int64_t, int64_t, int64_t, double,
+                                         const double *, int64_t,
+                                         const double *, int64_t, double,
+                                         double *, int64_t);

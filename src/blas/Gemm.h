@@ -1,0 +1,40 @@
+//===- blas/Gemm.h - Blocked matrix multiplication --------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-major GEMM, C = alpha * A * B + beta * C, the compute core of the
+/// TTGT baseline (TAL_SH performs its contraction as one cuBLAS GEMM after
+/// transposition). A cache-blocked implementation with a small register
+/// micro-kernel; functional-validation oriented, not a BLIS competitor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_BLAS_GEMM_H
+#define COGENT_BLAS_GEMM_H
+
+#include <cstdint>
+
+namespace cogent {
+namespace blas {
+
+/// C (M x N) = alpha * A (M x K) * B (K x N) + beta * C; all column-major
+/// with leading dimensions Lda/Ldb/Ldc.
+template <typename ElementT>
+void gemm(int64_t M, int64_t N, int64_t K, ElementT Alpha, const ElementT *A,
+          int64_t Lda, const ElementT *B, int64_t Ldb, ElementT Beta,
+          ElementT *C, int64_t Ldc);
+
+extern template void gemm<float>(int64_t, int64_t, int64_t, float,
+                                 const float *, int64_t, const float *,
+                                 int64_t, float, float *, int64_t);
+extern template void gemm<double>(int64_t, int64_t, int64_t, double,
+                                  const double *, int64_t, const double *,
+                                  int64_t, double, double *, int64_t);
+
+} // namespace blas
+} // namespace cogent
+
+#endif // COGENT_BLAS_GEMM_H

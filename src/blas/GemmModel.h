@@ -1,0 +1,45 @@
+//===- blas/GemmModel.h - cuBLAS-like GEMM performance model ---------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predicts cuBLAS GEMM execution time on the simulated devices. The
+/// essential behaviour the TTGT comparison depends on (paper §II and §V):
+/// large near-square GEMMs run close to peak, while the highly rectangular
+/// matrices produced by flattening tensor contractions — short K from few
+/// contraction indices, or skinny M/N — achieve a much lower fraction of
+/// peak because of tile quantization and reduced data reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_BLAS_GEMMMODEL_H
+#define COGENT_BLAS_GEMMMODEL_H
+
+#include "gpu/DeviceSpec.h"
+#include "gpu/PerfModel.h"
+
+#include <cstdint>
+
+namespace cogent {
+namespace blas {
+
+/// Model output for one GEMM call.
+struct GemmEstimate {
+  double TimeMs = 0.0;
+  double Gflops = 0.0;
+  /// Achieved fraction of device peak for the element type.
+  double EfficiencyVsPeak = 0.0;
+};
+
+/// Predicts the time of C(MxN) = A(MxK) * B(KxN) with \p ElementSize-byte
+/// elements on \p Device.
+GemmEstimate estimateGemm(const gpu::DeviceSpec &Device,
+                          const gpu::Calibration &Calib, int64_t M, int64_t N,
+                          int64_t K, unsigned ElementSize);
+
+} // namespace blas
+} // namespace cogent
+
+#endif // COGENT_BLAS_GEMMMODEL_H

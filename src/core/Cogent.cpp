@@ -1,0 +1,147 @@
+//===- core/Cogent.cpp ---------------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+
+#include "core/KernelPlan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+using namespace cogent;
+using namespace cogent::core;
+using cogent::ir::Contraction;
+
+ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
+                                           CogentOptions Options) const {
+  auto Start = std::chrono::steady_clock::now();
+
+  Options.Enumeration.ElementSize = Options.ElementSize;
+  Enumerator Enum(TC, Device, Options.Enumeration);
+  GenerationResult Result;
+  std::vector<KernelConfig> Configs = Enum.enumerate(&Result.Stats);
+  if (Configs.empty())
+    return Error("no valid kernel configuration for contraction " +
+                 TC.toString());
+
+  // Rank every surviving configuration by modeled DRAM transactions;
+  // tie-break toward higher occupancy, then more threads (determinism).
+  struct Ranked {
+    KernelConfig Config;
+    TransactionCost Cost;
+    gpu::OccupancyResult Occ;
+  };
+  std::vector<Ranked> Ranking;
+  Ranking.reserve(Configs.size());
+  for (KernelConfig &Config : Configs) {
+    KernelPlan Plan(TC, Config);
+    Ranked R;
+    R.Cost = estimateTransactions(Plan, Options.ElementSize,
+                                  Device.TransactionBytes);
+    R.Occ = planOccupancy(Plan, Device, Options.ElementSize);
+    R.Config = std::move(Config);
+    Ranking.push_back(std::move(R));
+  }
+  std::stable_sort(Ranking.begin(), Ranking.end(),
+                   [](const Ranked &X, const Ranked &Y) {
+                     if (X.Cost.total() != Y.Cost.total())
+                       return X.Cost.total() < Y.Cost.total();
+                     if (X.Occ.Occupancy != Y.Occ.Occupancy)
+                       return X.Occ.Occupancy > Y.Occ.Occupancy;
+                     return X.Config.threadsPerBlock() >
+                            Y.Config.threadsPerBlock();
+                   });
+
+  size_t Keep = std::min(std::max<size_t>(Options.TopK, 1), Ranking.size());
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  CodeGenOptions CGOptions;
+  CGOptions.ElementType = Options.ElementSize == 8 ? "double" : "float";
+  for (size_t I = 0; I < Keep; ++I) {
+    GeneratedKernel Kernel;
+    Kernel.Config = Ranking[I].Config;
+    Kernel.Cost = Ranking[I].Cost;
+    Kernel.Occupancy = Ranking[I].Occ;
+    KernelPlan Plan(TC, Kernel.Config);
+    Kernel.Source = emitCuda(Plan, CGOptions);
+    Kernel.Predicted = gpu::estimateKernelTime(
+        Device, Calib, makeKernelProfile(Plan, Device, Options.ElementSize));
+    Result.Kernels.push_back(std::move(Kernel));
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  Result.ElapsedMs =
+      std::chrono::duration<double, std::milli>(End - Start).count();
+  return Result;
+}
+
+std::string cogent::core::explainKernel(const Contraction &TC,
+                                        const GeneratedKernel &Kernel,
+                                        const gpu::DeviceSpec &Device,
+                                        unsigned ElementSize) {
+  const KernelConfig &Config = Kernel.Config;
+  KernelPlan Plan(TC, Config);
+  std::ostringstream OS;
+
+  OS << "contraction " << TC.toStringWithExtents() << " on " << Device.Name
+     << "\n";
+  OS << "mapping     " << Config.toString() << "\n\n";
+
+  OS << "  idx  kind       reuses  mapped-to  tile  extent\n";
+  auto dimensionOf = [&](char Name) -> std::string {
+    for (const auto &[List, Label] :
+         std::initializer_list<std::pair<const std::vector<IndexTile> &,
+                                         const char *>>{
+             {Config.TBx, "TBx"},
+             {Config.TBy, "TBy"},
+             {Config.RegX, "REGx"},
+             {Config.RegY, "REGy"},
+             {Config.TBk, "TBk"}})
+      for (const IndexTile &T : List)
+        if (T.Name == Name)
+          return Label;
+    return TC.isExternal(Name) ? "grid" : "serial";
+  };
+  for (char Name : TC.allIndices()) {
+    const char *Kind = TC.isInternal(Name) ? "internal" : "external";
+    OS << "  " << Name << "    " << Kind
+       << (TC.isInternal(Name) ? "   " : "   ") << ir::operandName(
+           TC.reuseTensor(Name))
+       << "       " << dimensionOf(Name);
+    OS << std::string(11 - std::min<size_t>(10, dimensionOf(Name).size()),
+                      ' ');
+    OS << Config.tileOf(Name) << "     " << TC.extent(Name) << "\n";
+  }
+
+  OS << "\nblock       " << Plan.tbX() << " x " << Plan.tbY()
+     << " threads, register tile " << Plan.regX() << " x " << Plan.regY()
+     << ", TBk " << Plan.tbk() << "\n";
+  OS << "grid        " << Plan.numBlocks() << " blocks, " << Plan.numSteps()
+     << " steps each\n";
+  OS << "smem        " << Config.smemBytes(ElementSize)
+     << " bytes/block; ~" << Config.registersPerThread(ElementSize)
+     << " regs/thread\n";
+  OS << "occupancy   " << 100.0 * Kernel.Occupancy.Occupancy << "% ("
+     << Kernel.Occupancy.BlocksPerSM << " blocks/SM, limited by "
+     << Kernel.Occupancy.Limiter << ")\n";
+  OS << "traffic     " << Kernel.Cost.LoadA << " (A) + " << Kernel.Cost.LoadB
+     << " (B) + " << Kernel.Cost.StoreC << " (C) = " << Kernel.Cost.total()
+     << " transactions\n";
+  OS << "roofline    " << Kernel.Predicted.Gflops << " GFLOPS ("
+     << Kernel.Predicted.Bound << " bound), " << Kernel.Predicted.TimeMs
+     << " ms\n";
+  return OS.str();
+}
+
+ErrorOr<GenerationResult>
+Cogent::generate(const std::string &Spec,
+                 const std::vector<std::pair<char, int64_t>> &Extents,
+                 CogentOptions Options) const {
+  ErrorOr<Contraction> TC = Contraction::parse(Spec, Extents);
+  if (!TC)
+    return Error(TC.errorMessage());
+  return generate(*TC, std::move(Options));
+}

@@ -1,0 +1,251 @@
+//===- core/CostModel.cpp ----------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CostModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cogent;
+using namespace cogent::core;
+using cogent::ir::Operand;
+
+static int64_t ceilDiv(int64_t X, int64_t Y) { return (X + Y - 1) / Y; }
+
+/// Transactions needed to move one staged slice: the slice decomposes into
+/// SliceElems / Run contiguous runs, and each run of Run elements costs
+/// ceil(Run / ElemsPerTransaction) transactions (the paper's
+/// min(size_Cont, size_TBx) row treatment, generalized with the 128-byte
+/// granularity cap).
+static double transactionsPerSlice(int64_t SliceElems, int64_t Run,
+                                   int64_t ElemsPerTransaction) {
+  assert(SliceElems > 0 && Run > 0 && ElemsPerTransaction > 0);
+  Run = std::min(Run, SliceElems);
+  int64_t NumRuns = ceilDiv(SliceElems, Run);
+  int64_t TransPerRun = ceilDiv(Run, ElemsPerTransaction);
+  return static_cast<double>(NumRuns) * static_cast<double>(TransPerRun);
+}
+
+TransactionCost cogent::core::estimateTransactions(const KernelPlan &Plan,
+                                                   unsigned ElementSize,
+                                                   unsigned TransactionBytes) {
+  assert((ElementSize == 4 || ElementSize == 8) && "unsupported element size");
+  int64_t ElemsPerTrans = TransactionBytes / ElementSize;
+
+  TransactionCost Cost;
+  double BlockSteps = static_cast<double>(Plan.numBlocks()) *
+                      static_cast<double>(Plan.numSteps());
+  Cost.LoadA = transactionsPerSlice(Plan.sliceElements(Operand::A),
+                                    Plan.contiguousRun(Operand::A),
+                                    ElemsPerTrans) *
+               BlockSteps;
+  Cost.LoadB = transactionsPerSlice(Plan.sliceElements(Operand::B),
+                                    Plan.contiguousRun(Operand::B),
+                                    ElemsPerTrans) *
+               BlockSteps;
+
+  int64_t CSliceElems =
+      Plan.tbX() * Plan.tbY() * Plan.regX() * Plan.regY();
+  Cost.StoreC =
+      transactionsPerSlice(CSliceElems, Plan.contiguousRunC(), ElemsPerTrans) *
+      static_cast<double>(Plan.numBlocks());
+  return Cost;
+}
+
+TransactionCost
+cogent::core::estimateTransactionsPaper(const KernelPlan &Plan,
+                                        unsigned ElementSize,
+                                        unsigned TransactionBytes) {
+  assert((ElementSize == 4 || ElementSize == 8) && "unsupported element size");
+  // The paper fixes transactions at 128 bytes == 16 doubles; the element
+  // count only matters through size_Cont's cap below.
+  int64_t ElemsPerTrans = TransactionBytes / ElementSize;
+  double BlockSteps = static_cast<double>(Plan.numBlocks()) *
+                      static_cast<double>(Plan.numSteps());
+
+  // One input is walked by the thread-block X row, the other by Y.
+  Operand XIn = Plan.config().XInput;
+  Operand YIn = Plan.config().yInput();
+
+  auto inputCost = [&](Operand Op, int64_t SizeTB, int64_t SizeReg) {
+    int64_t SizeCont =
+        std::min(Plan.contiguousRun(Op), ElemsPerTrans); // cal_Cont capped
+    int64_t NumTransTx =
+        ceilDiv(SizeTB, std::min<int64_t>(SizeCont, SizeTB));
+    int64_t NumTransTB = NumTransTx * Plan.tbk();   // rows: size_TBk
+    int64_t NumTransStep = NumTransTB * SizeReg;     // x size_REGx
+    return static_cast<double>(NumTransStep) * BlockSteps;
+  };
+
+  TransactionCost Cost;
+  double XCost = inputCost(XIn, Plan.tbX(), Plan.regX());
+  double YCost = inputCost(YIn, Plan.tbY(), Plan.regY());
+  Cost.LoadA = XIn == Operand::A ? XCost : YCost;
+  Cost.LoadB = XIn == Operand::A ? YCost : XCost;
+
+  // Store: rows of TBx threads write along C's FVI, TBy rows, one batch
+  // per register-tile element.
+  int64_t ContC = std::min(Plan.contiguousRunC(), ElemsPerTrans);
+  int64_t NumTransTx =
+      ceilDiv(Plan.tbX(), std::min<int64_t>(ContC, Plan.tbX()));
+  Cost.StoreC = static_cast<double>(NumTransTx * Plan.tbY() * Plan.regX() *
+                                    Plan.regY()) *
+                static_cast<double>(Plan.numBlocks());
+  return Cost;
+}
+
+namespace {
+
+/// Shared-memory offset contribution of one role coordinate for input
+/// \p Op: Offsets[v] = sum over Op's slice dims with that role of
+/// digit(v) * SmemStride (mirrors the simulator's staging tables).
+std::vector<int64_t> smemOffsetsByRole(const KernelPlan &Plan, Operand Op,
+                                       CoordRole Role,
+                                       const std::vector<IndexTile> &List) {
+  int64_t Count = 1;
+  for (const IndexTile &T : List)
+    Count *= T.Tile;
+  std::vector<int64_t> Offsets(static_cast<size_t>(Count), 0);
+  for (int64_t V = 0; V < Count; ++V) {
+    std::vector<int64_t> Digits = decodeMixedRadix(V, List);
+    int64_t Off = 0;
+    for (const SliceDim &Dim : Plan.sliceDims(Op))
+      if (Dim.Role == Role)
+        Off += Digits[Dim.RolePos] * Dim.SmemStride;
+    Offsets[static_cast<size_t>(V)] = Off;
+  }
+  return Offsets;
+}
+
+/// Conflict degree of one warp's offsets: the maximum number of *distinct*
+/// words any bank must serve (identical offsets broadcast for free).
+double warpConflictDegree(const std::vector<int64_t> &LaneOffsets,
+                          unsigned NumBanks) {
+  std::vector<std::vector<int64_t>> PerBank(NumBanks);
+  for (int64_t Off : LaneOffsets) {
+    std::vector<int64_t> &Bank =
+        PerBank[static_cast<size_t>(Off % NumBanks)];
+    if (std::find(Bank.begin(), Bank.end(), Off) == Bank.end())
+      Bank.push_back(Off);
+  }
+  size_t Max = 1;
+  for (const std::vector<int64_t> &Bank : PerBank)
+    Max = std::max(Max, Bank.size());
+  return static_cast<double>(Max);
+}
+
+/// Mean conflict degree of the staging loads of one input across warps and
+/// register/TBk iterations. \p LaneRoleCoord maps a linear thread id to the
+/// role coordinate that varies per lane (tx for the X side, ty for Y).
+double sideConflictFactor(const KernelPlan &Plan, Operand Op,
+                          bool VariesWithTx, unsigned WarpSize,
+                          unsigned NumBanks) {
+  const KernelConfig &Config = Plan.config();
+  std::vector<int64_t> LaneOffs =
+      smemOffsetsByRole(Plan, Op, VariesWithTx ? CoordRole::ThreadX
+                                               : CoordRole::ThreadY,
+                        VariesWithTx ? Config.TBx : Config.TBy);
+  std::vector<int64_t> RegOffs = smemOffsetsByRole(
+      Plan, Op, VariesWithTx ? CoordRole::RegX : CoordRole::RegY,
+      VariesWithTx ? Config.RegX : Config.RegY);
+  std::vector<int64_t> StepOffs =
+      smemOffsetsByRole(Plan, Op, CoordRole::Step, Config.TBk);
+
+  int64_t Threads = Plan.threadsPerBlock();
+  int64_t TbX = Plan.tbX();
+  double DegreeSum = 0.0;
+  int64_t SamplesTaken = 0;
+  // Sample a bounded number of (reg, kk) iterations; offsets only shift by
+  // a constant between them, so a handful captures the pattern.
+  constexpr int64_t MaxSamples = 8;
+  for (int64_t R = 0; R < static_cast<int64_t>(RegOffs.size()) &&
+                      SamplesTaken < MaxSamples;
+       ++R) {
+    for (int64_t K = 0; K < static_cast<int64_t>(StepOffs.size()) &&
+                        SamplesTaken < MaxSamples;
+         K += std::max<int64_t>(1, static_cast<int64_t>(StepOffs.size()) /
+                                       2)) {
+      double WarpSum = 0.0;
+      int64_t Warps = 0;
+      for (int64_t Base = 0; Base < Threads; Base += WarpSize) {
+        std::vector<int64_t> Offsets;
+        for (int64_t Tid = Base;
+             Tid < std::min<int64_t>(Base + WarpSize, Threads); ++Tid) {
+          int64_t Coord = VariesWithTx ? Tid % TbX : Tid / TbX;
+          Offsets.push_back(LaneOffs[static_cast<size_t>(Coord)] +
+                            RegOffs[static_cast<size_t>(R)] +
+                            StepOffs[static_cast<size_t>(K)]);
+        }
+        WarpSum += warpConflictDegree(Offsets, NumBanks);
+        ++Warps;
+      }
+      DegreeSum += WarpSum / static_cast<double>(Warps);
+      ++SamplesTaken;
+    }
+  }
+  return SamplesTaken == 0 ? 1.0
+                           : DegreeSum / static_cast<double>(SamplesTaken);
+}
+
+} // namespace
+
+double cogent::core::smemBankConflictFactor(const KernelPlan &Plan,
+                                            unsigned WarpSize,
+                                            unsigned NumBanks) {
+  Operand XIn = Plan.config().XInput;
+  Operand YIn = Plan.config().yInput();
+  double XFactor =
+      sideConflictFactor(Plan, XIn, /*VariesWithTx=*/true, WarpSize,
+                         NumBanks);
+  double YFactor =
+      sideConflictFactor(Plan, YIn, /*VariesWithTx=*/false, WarpSize,
+                         NumBanks);
+  // The two staging loads move similar volumes; average their penalties.
+  return (XFactor + YFactor) / 2.0;
+}
+
+gpu::OccupancyResult cogent::core::planOccupancy(const KernelPlan &Plan,
+                                                 const gpu::DeviceSpec &Device,
+                                                 unsigned ElementSize) {
+  gpu::BlockResources Block;
+  Block.ThreadsPerBlock = static_cast<unsigned>(Plan.threadsPerBlock());
+  Block.SharedMemBytes =
+      static_cast<unsigned>(Plan.config().smemBytes(ElementSize));
+  Block.RegistersPerThread = Plan.config().registersPerThread(ElementSize);
+  return gpu::computeOccupancy(Device, Block);
+}
+
+gpu::KernelProfile
+cogent::core::makeKernelProfile(const KernelPlan &Plan,
+                                const gpu::DeviceSpec &Device,
+                                unsigned ElementSize) {
+  gpu::KernelProfile Profile;
+  Profile.ElementSize = ElementSize;
+  Profile.Flops = Plan.contraction().flopCount();
+
+  TransactionCost Cost =
+      estimateTransactions(Plan, ElementSize, Device.TransactionBytes);
+  Profile.DramBytes = Cost.total() * Device.TransactionBytes;
+
+  // Register staging: every thread reads REGx + REGy shared-memory elements
+  // per intra-step iteration to produce 2*REGx*REGy flops.
+  double InnerIterations = Profile.Flops / 2.0 /
+                           static_cast<double>(Plan.regX() * Plan.regY());
+  Profile.SmemBytes = InnerIterations *
+                      static_cast<double>(Plan.regX() + Plan.regY()) *
+                      ElementSize;
+  // Bank conflicts serialize lanes: fold the modeled multiplier into the
+  // effective SMEM traffic.
+  Profile.SmemBytes *= smemBankConflictFactor(Plan);
+  Profile.RegisterTileFlops =
+      static_cast<double>(Plan.regX() * Plan.regY());
+
+  gpu::OccupancyResult Occ = planOccupancy(Plan, Device, ElementSize);
+  Profile.Occupancy = Occ.Occupancy;
+  Profile.WaveEff =
+      gpu::waveEfficiency(Device, Plan.numBlocks(), Occ.BlocksPerSM);
+  return Profile;
+}

@@ -1,0 +1,81 @@
+//===- core/CostModel.h - DRAM-transaction cost model (Alg. 3) ------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analytic cost model: estimate the number of 128-byte DRAM
+/// transactions needed to load both input-tensor slices for every step of
+/// every thread block plus the transactions to store the output, and rank
+/// candidate configurations by that total without running them. Also
+/// assembles the full gpu::KernelProfile (flops, bytes, occupancy) used by
+/// the roofline time model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_CORE_COSTMODEL_H
+#define COGENT_CORE_COSTMODEL_H
+
+#include "core/KernelPlan.h"
+#include "gpu/DeviceSpec.h"
+#include "gpu/Occupancy.h"
+#include "gpu/PerfModel.h"
+
+namespace cogent {
+namespace core {
+
+/// Transaction estimate broken down per operand.
+struct TransactionCost {
+  double LoadA = 0.0;
+  double LoadB = 0.0;
+  double StoreC = 0.0;
+
+  double total() const { return LoadA + LoadB + StoreC; }
+};
+
+/// Implements Algorithm 3 for both inputs and the output store: the number
+/// of transactions per staged slice is the number of contiguous runs times
+/// the transactions per run, multiplied by steps and thread blocks.
+TransactionCost estimateTransactions(const KernelPlan &Plan,
+                                     unsigned ElementSize,
+                                     unsigned TransactionBytes = 128);
+
+/// The paper's Algorithm 3 in its literal row-of-threads formulation:
+///   numTransTx   = size_TBx / min(size_Cont, size_TBx)
+///   numTransTB   = numTransTx * size_TBk
+///   numTransStep = numTransTB * size_REGx
+///   total        = numTransStep * numSteps * numTBs
+/// (mirrored with TBy/REGy for the second input, plus the store term).
+/// It differs from estimateTransactions in ignoring the 128-byte
+/// transaction granularity cap on long runs; kept verbatim for fidelity
+/// comparisons (see tests and DESIGN.md).
+TransactionCost estimateTransactionsPaper(const KernelPlan &Plan,
+                                          unsigned ElementSize,
+                                          unsigned TransactionBytes = 128);
+
+/// Builds the roofline profile for \p Plan on \p Device: exact flop count,
+/// modeled DRAM bytes (from estimateTransactions), register-staging SMEM
+/// traffic, occupancy and wave efficiency.
+gpu::KernelProfile makeKernelProfile(const KernelPlan &Plan,
+                                     const gpu::DeviceSpec &Device,
+                                     unsigned ElementSize);
+
+/// Occupancy of \p Plan's block footprint on \p Device.
+gpu::OccupancyResult planOccupancy(const KernelPlan &Plan,
+                                   const gpu::DeviceSpec &Device,
+                                   unsigned ElementSize);
+
+/// Average shared-memory bank-conflict multiplier of the compute phase's
+/// register-staging loads (1.0 = conflict-free or pure broadcast). Lanes of
+/// a warp that read distinct shared-memory words falling in the same bank
+/// serialize; the returned factor scales the SMEM roofline term. Modeled
+/// with \p NumBanks element-granularity banks and broadcast coalescing, per
+/// warp, averaged over the register-tile and TBk iterations.
+double smemBankConflictFactor(const KernelPlan &Plan, unsigned WarpSize = 32,
+                              unsigned NumBanks = 32);
+
+} // namespace core
+} // namespace cogent
+
+#endif // COGENT_CORE_COSTMODEL_H

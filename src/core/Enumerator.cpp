@@ -1,0 +1,353 @@
+//===- core/Enumerator.cpp ----------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerator.h"
+
+#include "core/CostModel.h"
+#include "core/KernelPlan.h"
+#include "gpu/Occupancy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <string>
+
+using namespace cogent;
+using namespace cogent::core;
+using cogent::ir::Contraction;
+using cogent::ir::Operand;
+
+namespace {
+
+/// A partially determined configuration: one TB list plus one register-tile
+/// list for a single side (X or Y), or a TBk list (Reg unused).
+struct PartialConfig {
+  std::vector<IndexTile> TB;
+  std::vector<IndexTile> Reg;
+};
+
+std::string keyOf(const std::vector<IndexTile> &List) {
+  // Order-insensitive beyond the first element (the forced coalescing
+  // index): sort the tail so rotations that produce the same set collapse.
+  std::string Key;
+  std::vector<std::string> Tail;
+  for (size_t I = 0; I < List.size(); ++I) {
+    std::string Entry;
+    Entry += List[I].Name;
+    Entry += ':';
+    Entry += std::to_string(List[I].Tile);
+    if (I == 0)
+      Key += Entry;
+    else
+      Tail.push_back(Entry);
+  }
+  std::sort(Tail.begin(), Tail.end());
+  for (const std::string &Entry : Tail)
+    Key += "," + Entry;
+  return Key;
+}
+
+std::string keyOf(const PartialConfig &Partial) {
+  return keyOf(Partial.TB) + "|" + keyOf(Partial.Reg);
+}
+
+/// Greedily fills a tile list toward \p Target by walking \p Pool rotated to
+/// start at \p StartIdx, exactly as Algorithm 2 walks an input's indices
+/// from s_idx to the SVI and then wraps. \p Product carries the product of
+/// tiles already placed (from a forced first index).
+std::vector<IndexTile> fillToward(const Contraction &TC,
+                                  const std::vector<char> &Pool,
+                                  size_t StartIdx, int64_t Target,
+                                  std::vector<IndexTile> Seed,
+                                  int64_t Product) {
+  for (size_t Step = 0; Step < Pool.size() && Product < Target; ++Step) {
+    char Name = Pool[(StartIdx + Step) % Pool.size()];
+    int64_t Remaining = Target / Product;
+    if (Remaining <= 1)
+      break;
+    int64_t Tile = std::min<int64_t>(TC.extent(Name), Remaining);
+    if (Tile < 1)
+      Tile = 1;
+    Seed.push_back({Name, Tile});
+    Product *= Tile;
+  }
+  return Seed;
+}
+
+/// Enumerates (TB, Reg) partials for one side. \p Forced, when non-zero, is
+/// an index that must lead the TB list (the output FVI on the X side).
+/// \p Pool holds the side's remaining external indices in the input
+/// tensor's own order (FVI -> SVI).
+std::vector<PartialConfig>
+enumerateSide(const Contraction &TC, char Forced,
+              const std::vector<char> &Pool,
+              const std::vector<int64_t> &TBSizes,
+              const std::vector<int64_t> &RegSizes) {
+  std::vector<PartialConfig> Result;
+  std::set<std::string> Seen;
+
+  auto emit = [&](PartialConfig Partial) {
+    std::string Key = keyOf(Partial);
+    if (Seen.insert(Key).second)
+      Result.push_back(std::move(Partial));
+  };
+
+  std::vector<std::vector<IndexTile>> TBCandidates;
+  std::set<std::string> SeenTB;
+  auto emitTB = [&](std::vector<IndexTile> TB) {
+    if (SeenTB.insert(keyOf(TB)).second)
+      TBCandidates.push_back(std::move(TB));
+  };
+
+  for (int64_t TBSize : TBSizes) {
+    std::vector<IndexTile> Seed;
+    int64_t Product = 1;
+    if (Forced != 0) {
+      int64_t Tile = std::min<int64_t>(TC.extent(Forced), TBSize);
+      Seed.push_back({Forced, Tile});
+      Product = Tile;
+    }
+    if (Pool.empty()) {
+      emitTB(Seed);
+      continue;
+    }
+    for (size_t StartIdx = 0; StartIdx < Pool.size(); ++StartIdx)
+      emitTB(fillToward(TC, Pool, StartIdx, TBSize, Seed, Product));
+  }
+  // A side with no indices at all still contributes one (empty) candidate.
+  if (TBCandidates.empty())
+    TBCandidates.push_back({});
+
+  for (const std::vector<IndexTile> &TB : TBCandidates) {
+    // The leftovers available for register tiling: externals of this side
+    // that the TB list did not consume.
+    std::vector<char> Leftover;
+    for (char Name : Pool) {
+      bool Consumed = false;
+      for (const IndexTile &T : TB)
+        Consumed |= T.Name == Name;
+      if (!Consumed)
+        Leftover.push_back(Name);
+    }
+
+    // Register tile absent (REG size 1) is always an option.
+    emit({TB, {}});
+
+    if (Leftover.empty())
+      continue;
+    std::set<std::string> SeenReg;
+    for (int64_t RegSize : RegSizes) {
+      for (size_t StartIdx = 0; StartIdx < Leftover.size(); ++StartIdx) {
+        std::vector<IndexTile> Reg =
+            fillToward(TC, Leftover, StartIdx, RegSize, {}, 1);
+        if (Reg.empty())
+          continue;
+        if (SeenReg.insert(keyOf(Reg)).second)
+          emit({TB, Reg});
+      }
+    }
+  }
+  return Result;
+}
+
+/// Enumerates TBk partials over the internal indices (Reg member unused).
+/// Beyond the Algorithm-2 rotations, mixed assignments with independent
+/// per-index tiles are generated so contractions whose two input FVIs are
+/// both internal can coalesce both loads (smem pruning bounds the blowup).
+std::vector<PartialConfig>
+enumerateK(const Contraction &TC, const std::vector<int64_t> &TBSizes) {
+  std::vector<char> Internals = TC.internalIndices();
+  std::vector<PartialConfig> Result;
+  if (Internals.empty()) {
+    Result.push_back({});
+    return Result;
+  }
+  std::set<std::string> Seen;
+  auto emit = [&](std::vector<IndexTile> K) {
+    if (K.empty())
+      return;
+    if (Seen.insert(keyOf(K)).second)
+      Result.push_back({std::move(K), {}});
+  };
+  for (int64_t KSize : TBSizes)
+    for (size_t StartIdx = 0; StartIdx < Internals.size(); ++StartIdx)
+      emit(fillToward(TC, Internals, StartIdx, KSize, {}, 1));
+
+  // Mixed per-index tiles: the Cartesian product over {1, 4, 8, 16} with a
+  // bounded aggregate product.
+  static const int64_t MixedTiles[] = {1, 4, 8, 16};
+  constexpr int64_t MaxProduct = 256;
+  size_t NumIdx = std::min<size_t>(Internals.size(), 4);
+  std::vector<size_t> Choice(NumIdx, 0);
+  for (;;) {
+    std::vector<IndexTile> K;
+    int64_t Product = 1;
+    for (size_t I = 0; I < NumIdx; ++I) {
+      int64_t Tile =
+          std::min<int64_t>(MixedTiles[Choice[I]], TC.extent(Internals[I]));
+      if (Tile > 1)
+        K.push_back({Internals[I], Tile});
+      Product *= Tile;
+    }
+    if (Product <= MaxProduct)
+      emit(std::move(K));
+    size_t Dim = 0;
+    for (; Dim < NumIdx; ++Dim) {
+      if (++Choice[Dim] < std::size(MixedTiles))
+        break;
+      Choice[Dim] = 0;
+    }
+    if (Dim == NumIdx)
+      break;
+  }
+  assert(!Result.empty() && "no TBk candidates for non-empty internals");
+  return Result;
+}
+
+} // namespace
+
+Enumerator::Enumerator(const Contraction &TCIn,
+                       const gpu::DeviceSpec &DeviceIn,
+                       EnumerationOptions OptionsIn)
+    : TC(TCIn), Device(DeviceIn), Options(std::move(OptionsIn)) {
+  if (Options.MinThreadBlocks == 0)
+    Options.MinThreadBlocks = 2 * static_cast<int64_t>(Device.NumSMs);
+}
+
+double Enumerator::naiveSearchSpace(const Contraction &TC) {
+  double NumExternal = static_cast<double>(TC.externalIndices().size());
+  double NumInternal = static_cast<double>(TC.internalIndices().size());
+  double Mapping = std::pow(4.0, NumExternal) *
+                   std::pow(2.0, std::max(0.0, NumInternal - 1.0));
+  double TileSizes = std::pow(6.0, NumExternal + NumInternal - 1.0);
+  return Mapping * TileSizes;
+}
+
+std::vector<KernelConfig>
+Enumerator::enumerate(EnumerationStats *Stats) const {
+  char OutFvi = TC.fvi(Operand::C);
+  Operand XInput = TC.inputContaining(OutFvi);
+  Operand YInput = XInput == Operand::A ? Operand::B : Operand::A;
+
+  // External pools in each input's own index order, FVI -> SVI.
+  auto externalPool = [&](Operand Input, char Exclude) {
+    std::vector<char> Pool;
+    for (char Name : TC.indices(Input))
+      if (TC.isExternal(Name) && Name != Exclude)
+        Pool.push_back(Name);
+    return Pool;
+  };
+  std::vector<char> XPool = externalPool(XInput, OutFvi);
+  std::vector<char> YPool = externalPool(YInput, /*Exclude=*/0);
+
+  std::vector<PartialConfig> XPartials =
+      enumerateSide(TC, OutFvi, XPool, Options.TBSizes, Options.RegSizes);
+  std::vector<PartialConfig> YPartials =
+      enumerateSide(TC, /*Forced=*/0, YPool, Options.TBSizes,
+                    Options.RegSizes);
+  std::vector<PartialConfig> KPartials = enumerateK(TC, Options.TBSizes);
+
+  EnumerationStats Local;
+  Local.RawConfigs = static_cast<uint64_t>(XPartials.size()) *
+                     YPartials.size() * KPartials.size();
+
+  // FVI performance constraints (§IV-A2): each input's own FVI must be part
+  // of the dimension that walks it during coalesced loads.
+  char XFvi = TC.fvi(XInput);
+  char YFvi = TC.fvi(YInput);
+  auto listContains = [](const std::vector<IndexTile> &List, char Name) {
+    for (const IndexTile &T : List)
+      if (T.Name == Name)
+        return true;
+    return false;
+  };
+
+  auto passesFvi = [&](const KernelConfig &Config) {
+    auto coversInputFvi = [&](char Fvi, const std::vector<IndexTile> &TBList) {
+      if (TC.extent(Fvi) == 1)
+        return true; // degenerate dimension: nothing to coalesce
+      if (TC.isInternal(Fvi))
+        return listContains(Config.TBk, Fvi);
+      // External: it must be mapped with a real tile on its side's TB list
+      // or covered fully by a register tile (which still yields contiguous
+      // per-thread runs during the flattened slice load).
+      return listContains(TBList, Fvi) ||
+             Config.tileOf(Fvi) > 1;
+    };
+    return coversInputFvi(XFvi, Config.TBx) && coversInputFvi(YFvi, Config.TBy);
+  };
+
+  enum class PruneReason { None, Invalid, Hardware, Performance };
+  struct Candidate {
+    KernelConfig Config;
+    PruneReason Reason = PruneReason::None;
+  };
+
+  std::vector<KernelConfig> Survivors;
+  std::vector<KernelConfig> PerfPrunedOnly; // for relaxation
+
+  for (const PartialConfig &X : XPartials) {
+    for (const PartialConfig &Y : YPartials) {
+      for (const PartialConfig &K : KPartials) {
+        KernelConfig Config;
+        Config.XInput = XInput;
+        Config.TBx = X.TB;
+        Config.RegX = X.Reg;
+        Config.TBy = Y.TB;
+        Config.RegY = Y.Reg;
+        Config.TBk = K.TB;
+
+        if (!Config.validate(TC).empty()) {
+          ++Local.InvalidConfigs;
+          continue;
+        }
+
+        // Hardware constraints.
+        int64_t Threads = Config.threadsPerBlock();
+        int64_t Smem = Config.smemBytes(Options.ElementSize);
+        unsigned Regs = Config.registersPerThread(Options.ElementSize);
+        if (Threads > Device.MaxThreadsPerBlock ||
+            Smem > static_cast<int64_t>(Device.SharedMemPerBlock) ||
+            Regs > Device.MaxRegistersPerThread) {
+          ++Local.HardwarePruned;
+          continue;
+        }
+
+        // Performance constraints.
+        bool PerfOk = true;
+        if (Options.EnforceFviConstraints && !passesFvi(Config))
+          PerfOk = false;
+        if (PerfOk && Options.EnforceMinBlocks &&
+            Config.numThreadBlocks(TC) < Options.MinThreadBlocks)
+          PerfOk = false;
+        if (PerfOk && Options.MinOccupancy > 0.0) {
+          gpu::BlockResources Block;
+          Block.ThreadsPerBlock = static_cast<unsigned>(Threads);
+          Block.SharedMemBytes = static_cast<unsigned>(Smem);
+          Block.RegistersPerThread = Regs;
+          if (gpu::computeOccupancy(Device, Block).Occupancy <
+              Options.MinOccupancy)
+            PerfOk = false;
+        }
+        if (!PerfOk) {
+          ++Local.PerformancePruned;
+          PerfPrunedOnly.push_back(std::move(Config));
+          continue;
+        }
+        Survivors.push_back(std::move(Config));
+      }
+    }
+  }
+
+  Local.Survivors = Survivors.size();
+  if (Stats)
+    *Stats = Local;
+
+  if (Survivors.empty() && Options.RelaxWhenEmpty && !PerfPrunedOnly.empty())
+    return PerfPrunedOnly;
+  return Survivors;
+}

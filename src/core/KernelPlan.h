@@ -1,0 +1,142 @@
+//===- core/KernelPlan.h - Lowered execution plan for one config -----------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a (Contraction, KernelConfig) pair into the concrete quantities
+/// the rest of the system consumes: grid/step decompositions, per-slice
+/// dimension descriptors with global and shared-memory strides, and
+/// contiguity information. The CUDA emitter, the analytic cost model and
+/// the functional simulator all derive from this one lowering so they are
+/// guaranteed to describe the same schedule (Algorithm 1 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_CORE_KERNELPLAN_H
+#define COGENT_CORE_KERNELPLAN_H
+
+#include "core/KernelConfig.h"
+#include "ir/Contraction.h"
+
+#include <vector>
+
+namespace cogent {
+namespace core {
+
+/// Where a slice dimension's intra-tile coordinate comes from at runtime.
+enum class CoordRole {
+  /// Decoded from threadIdx.x via the TBx list (mixed radix, first entry
+  /// fastest).
+  ThreadX,
+  /// Decoded from threadIdx.y via the TBy list.
+  ThreadY,
+  /// Decoded from the register-tile X iterator via the RegX list.
+  RegX,
+  /// Decoded from the register-tile Y iterator via the RegY list.
+  RegY,
+  /// Decoded from the intra-step contraction iterator via the TBk list.
+  Step,
+  /// Tile 1: the coordinate is fixed by the block (external) or step
+  /// (internal) base; nothing to decode.
+  Fixed,
+};
+
+/// Grid/step decomposition of one loop index.
+struct PlanDim {
+  char Name = '?';
+  int64_t Extent = 0;
+  int64_t Tile = 1;
+  int64_t NumTiles = 0;
+};
+
+/// One dimension of an input-tensor slice, in the owning tensor's own index
+/// order (FVI first). The slice is stored flattened in this order in shared
+/// memory, so loads walk global memory in the tensor's layout order.
+struct SliceDim {
+  char Name = '?';
+  int64_t Tile = 1;
+  int64_t Extent = 0;
+  /// Column-major stride of this index in the owning global tensor.
+  int64_t GlobalStride = 0;
+  /// Stride of this dimension within the flattened shared-memory slice.
+  int64_t SmemStride = 0;
+  CoordRole Role = CoordRole::Fixed;
+  /// Position of this index within its role's IndexTile list.
+  unsigned RolePos = 0;
+};
+
+/// One dimension of the output tensor for the store phase, in C's index
+/// order.
+struct StoreDim {
+  char Name = '?';
+  int64_t Extent = 0;
+  int64_t Tile = 1;
+  int64_t GlobalStride = 0;
+  CoordRole Role = CoordRole::Fixed;
+  unsigned RolePos = 0;
+};
+
+/// Decodes \p Value as a mixed-radix number over the tiles of \p List
+/// (first entry fastest varying), returning one digit per entry.
+std::vector<int64_t> decodeMixedRadix(int64_t Value,
+                                      const std::vector<IndexTile> &List);
+
+/// Fully lowered plan; immutable after construction.
+class KernelPlan {
+public:
+  /// \pre Config.validate(TC) returned an empty string.
+  KernelPlan(const ir::Contraction &TC, KernelConfig Config);
+
+  const ir::Contraction &contraction() const { return TC; }
+  const KernelConfig &config() const { return Config; }
+
+  int64_t tbX() const { return TBXSize; }
+  int64_t tbY() const { return TBYSize; }
+  int64_t regX() const { return REGXSize; }
+  int64_t regY() const { return REGYSize; }
+  int64_t tbk() const { return TBKSize; }
+  int64_t threadsPerBlock() const { return TBXSize * TBYSize; }
+
+  int64_t numBlocks() const { return NumBlocks; }
+  int64_t numSteps() const { return NumSteps; }
+
+  /// Slice elements staged per step for operand \p Op (A or B).
+  int64_t sliceElements(ir::Operand Op) const;
+
+  /// External-index grid decomposition, in C's index order.
+  const std::vector<PlanDim> &gridDims() const { return GridDims; }
+  /// Internal-index step decomposition, in A's index order.
+  const std::vector<PlanDim> &stepDims() const { return StepDims; }
+
+  /// Slice descriptors for input \p Op (A or B), in \p Op's index order.
+  const std::vector<SliceDim> &sliceDims(ir::Operand Op) const;
+
+  /// Store descriptors for C, in C's index order.
+  const std::vector<StoreDim> &storeDims() const { return StoreDims; }
+
+  /// Maximal contiguous global-memory run (in elements) of input \p Op's
+  /// slice: the paper's cal_Cont().
+  int64_t contiguousRun(ir::Operand Op) const;
+
+  /// cal_Cont for the output store hyper-rectangle.
+  int64_t contiguousRunC() const;
+
+private:
+  ir::Contraction TC;
+  KernelConfig Config;
+
+  int64_t TBXSize = 1, TBYSize = 1, REGXSize = 1, REGYSize = 1, TBKSize = 1;
+  int64_t NumBlocks = 1, NumSteps = 1;
+
+  std::vector<PlanDim> GridDims;
+  std::vector<PlanDim> StepDims;
+  std::vector<SliceDim> SliceA, SliceB;
+  std::vector<StoreDim> StoreDims;
+};
+
+} // namespace core
+} // namespace cogent
+
+#endif // COGENT_CORE_KERNELPLAN_H

@@ -1,0 +1,67 @@
+//===- core/KernelRepository.cpp -----------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelRepository.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace cogent;
+using namespace cogent::core;
+
+ErrorOr<size_t> KernelRepository::addRepresentative(
+    const std::vector<std::pair<char, int64_t>> &Extents) {
+  ErrorOr<GenerationResult> Result =
+      Generator.generate(Spec, Extents, Options);
+  if (!Result)
+    return Error(Result.errorMessage());
+  KernelVersion Version;
+  Version.RepresentativeExtents = Extents;
+  Version.Kernel = std::move(Result->Kernels.front());
+  Versions.push_back(std::move(Version));
+  return Versions.size() - 1;
+}
+
+ErrorOr<size_t> KernelRepository::addRepresentativeUniform(int64_t Extent) {
+  std::vector<std::pair<char, int64_t>> Extents;
+  for (char C = 'a'; C <= 'z'; ++C)
+    if (Spec.find(C) != std::string::npos)
+      Extents.emplace_back(C, Extent);
+  return addRepresentative(Extents);
+}
+
+const KernelVersion &KernelRepository::selectFor(
+    const std::vector<std::pair<char, int64_t>> &ActualExtents) const {
+  assert(!Versions.empty() && "selection from an empty repository");
+
+  auto extentOf = [](const std::vector<std::pair<char, int64_t>> &Extents,
+                     char Name) -> int64_t {
+    for (const auto &[N, E] : Extents)
+      if (N == Name)
+        return E;
+    return -1;
+  };
+
+  size_t BestIdx = 0;
+  double BestDistance = std::numeric_limits<double>::infinity();
+  for (size_t I = 0; I < Versions.size(); ++I) {
+    double Distance = 0.0;
+    for (const auto &[Name, RepExtent] :
+         Versions[I].RepresentativeExtents) {
+      int64_t Actual = extentOf(ActualExtents, Name);
+      assert(Actual > 0 && "actual extent missing for an index");
+      double LogRatio = std::log(static_cast<double>(Actual) /
+                                 static_cast<double>(RepExtent));
+      Distance += LogRatio * LogRatio;
+    }
+    if (Distance < BestDistance) {
+      BestDistance = Distance;
+      BestIdx = I;
+    }
+  }
+  return Versions[BestIdx];
+}

@@ -1,0 +1,75 @@
+//===- core/KernelRepository.h - Multi-size kernel versions (§IV-B) --------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's multi-representative-size scheme (§IV-B): "When
+/// the code generator receives a set of representative problem sizes, it
+/// can generate different code versions targeted at each representative
+/// problem size. ... the kernel is selected at runtime based on the closest
+/// representative". A repository owns every generated version of one
+/// contraction expression and answers runtime selection queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_CORE_KERNELREPOSITORY_H
+#define COGENT_CORE_KERNELREPOSITORY_H
+
+#include "core/Cogent.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cogent {
+namespace core {
+
+/// One generated code version together with the representative size it was
+/// tuned for.
+struct KernelVersion {
+  std::vector<std::pair<char, int64_t>> RepresentativeExtents;
+  GeneratedKernel Kernel;
+};
+
+/// All code versions of a single contraction expression.
+class KernelRepository {
+public:
+  /// \p Spec in "C-A-B" notation; versions are added per representative
+  /// size via addRepresentative().
+  KernelRepository(const Cogent &Generator, std::string Spec,
+                   CogentOptions Options = CogentOptions())
+      : Generator(Generator), Spec(std::move(Spec)),
+        Options(std::move(Options)) {}
+
+  const std::string &spec() const { return Spec; }
+  size_t numVersions() const { return Versions.size(); }
+  const KernelVersion &version(size_t I) const { return Versions[I]; }
+
+  /// Generates and stores a code version tuned for \p Extents. Returns the
+  /// version index, or an error for malformed specs/extents.
+  ErrorOr<size_t>
+  addRepresentative(const std::vector<std::pair<char, int64_t>> &Extents);
+
+  /// Convenience: uniform representative extent.
+  ErrorOr<size_t> addRepresentativeUniform(int64_t Extent);
+
+  /// Runtime selection: the stored version whose representative size is
+  /// closest to \p ActualExtents in log-space (so 2x too big and 2x too
+  /// small are equally distant). \pre numVersions() > 0 and every index of
+  /// the expression has an actual extent.
+  const KernelVersion &
+  selectFor(const std::vector<std::pair<char, int64_t>> &ActualExtents) const;
+
+private:
+  const Cogent &Generator;
+  std::string Spec;
+  CogentOptions Options;
+  std::vector<KernelVersion> Versions;
+};
+
+} // namespace core
+} // namespace cogent
+
+#endif // COGENT_CORE_KERNELREPOSITORY_H

@@ -1,0 +1,76 @@
+//===- gpu/Autotune.cpp --------------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/Autotune.h"
+
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cogent;
+using namespace cogent::gpu;
+using cogent::ir::Contraction;
+using cogent::ir::Operand;
+
+namespace {
+
+/// Rebuilds \p TC with every extent clamped to \p MaxExtent.
+Contraction scaledContraction(const Contraction &TC, int64_t MaxExtent) {
+  std::vector<std::pair<char, int64_t>> Extents;
+  for (char Name : TC.allIndices())
+    Extents.emplace_back(Name, std::min(TC.extent(Name), MaxExtent));
+  ErrorOr<Contraction> Scaled = Contraction::parse(TC.toString(), Extents);
+  assert(Scaled.hasValue() && "rescaling a valid contraction cannot fail");
+  return *Scaled;
+}
+
+} // namespace
+
+RefinementResult
+cogent::gpu::refineTopKBySimulation(const Contraction &TC,
+                                    const core::GenerationResult &Result,
+                                    const DeviceSpec &Device,
+                                    unsigned ElementSize,
+                                    int64_t MeasureExtent) {
+  assert(!Result.Kernels.empty() && "nothing to refine");
+  Contraction Small = scaledContraction(TC, MeasureExtent);
+
+  Rng Generator(0xa070ULL);
+  tensor::Tensor<double> A = tensor::makeOperand<double>(Small, Operand::A);
+  tensor::Tensor<double> B = tensor::makeOperand<double>(Small, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  tensor::Tensor<double> C = tensor::makeOperand<double>(Small, Operand::C);
+
+  Calibration Calib = makeCalibration(Device);
+  RefinementResult Refined;
+  double BestGflops = -1.0;
+  for (size_t I = 0; I < Result.Kernels.size(); ++I) {
+    core::KernelConfig Config =
+        Result.Kernels[I].Config.clampedTo(Small);
+    core::KernelPlan Plan(Small, Config);
+    SimResult Sim = simulateKernel(Plan, C, A, B);
+
+    MeasuredCandidate Candidate;
+    Candidate.KernelIndex = I;
+    Candidate.ExactTransactions = Sim.totalTransactions();
+    KernelProfile Profile =
+        makeProfileFromSim(Plan, Device, ElementSize, Sim);
+    Candidate.MeasuredGflops =
+        estimateKernelTime(Device, Calib, Profile).Gflops;
+    if (Candidate.MeasuredGflops > BestGflops) {
+      BestGflops = Candidate.MeasuredGflops;
+      Refined.WinnerIndex = I;
+    }
+    Refined.Candidates.push_back(Candidate);
+  }
+  Refined.ModelPickConfirmed = Refined.WinnerIndex == 0;
+  return Refined;
+}

@@ -1,0 +1,62 @@
+//===- gpu/Autotune.h - Simulation-refined top-K selection (§VI) -----------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's related-work section sketches the natural extension of the
+/// model-driven pipeline: "auto-tuned across a selected set of
+/// configurations" — run only the cost model's top few candidates and keep
+/// the measured winner. Here "measurement" is the functional simulator's
+/// exact transaction counts fed through the roofline model, optionally at a
+/// scaled-down problem size to bound measurement cost, mirroring how one
+/// would benchmark candidate kernels on hardware with a representative
+/// input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_GPU_AUTOTUNE_H
+#define COGENT_GPU_AUTOTUNE_H
+
+#include "core/Cogent.h"
+#include "gpu/DeviceSpec.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cogent {
+namespace gpu {
+
+/// Outcome of one candidate's simulated measurement.
+struct MeasuredCandidate {
+  size_t KernelIndex = 0;
+  /// Simulated GFLOPS at the measurement size.
+  double MeasuredGflops = 0.0;
+  /// Exact transactions measured by the simulator.
+  uint64_t ExactTransactions = 0;
+};
+
+/// Result of the refinement pass.
+struct RefinementResult {
+  /// Candidates ordered as in the GenerationResult.
+  std::vector<MeasuredCandidate> Candidates;
+  /// Index (into Result.Kernels) of the measured winner.
+  size_t WinnerIndex = 0;
+  /// True when measurement agreed with the cost model's #1 pick.
+  bool ModelPickConfirmed = true;
+};
+
+/// Simulates every kernel of \p Result on \p Device at extents clamped to
+/// \p MeasureExtent and returns the measured ranking. \p TC must be the
+/// contraction \p Result was generated for.
+RefinementResult refineTopKBySimulation(const ir::Contraction &TC,
+                                        const core::GenerationResult &Result,
+                                        const DeviceSpec &Device,
+                                        unsigned ElementSize,
+                                        int64_t MeasureExtent = 12);
+
+} // namespace gpu
+} // namespace cogent
+
+#endif // COGENT_GPU_AUTOTUNE_H

@@ -1,0 +1,38 @@
+//===- gpu/DeviceSpec.cpp --------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/DeviceSpec.h"
+
+using namespace cogent;
+using namespace cogent::gpu;
+
+DeviceSpec cogent::gpu::makeP100() {
+  DeviceSpec Spec;
+  Spec.Name = "P100";
+  Spec.NumSMs = 56;
+  Spec.CoresPerSM = 64;
+  Spec.SharedMemPerSM = 64 * 1024;
+  Spec.SharedMemPerBlock = 48 * 1024;
+  Spec.RegistersPerSM = 65536;
+  Spec.DramBandwidthGBs = 732.0;
+  Spec.PeakGflopsDouble = 4759.0;
+  Spec.PeakGflopsSingle = 9519.0;
+  return Spec;
+}
+
+DeviceSpec cogent::gpu::makeV100() {
+  DeviceSpec Spec;
+  Spec.Name = "V100";
+  Spec.NumSMs = 80;
+  Spec.CoresPerSM = 64;
+  Spec.SharedMemPerSM = 96 * 1024;
+  Spec.SharedMemPerBlock = 48 * 1024;
+  Spec.RegistersPerSM = 65536;
+  Spec.DramBandwidthGBs = 900.0;
+  Spec.PeakGflopsDouble = 7066.0;
+  Spec.PeakGflopsSingle = 14131.0;
+  return Spec;
+}

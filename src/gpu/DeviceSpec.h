@@ -1,0 +1,73 @@
+//===- gpu/DeviceSpec.h - GPU machine-model parameters ---------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural parameters of the simulated GPUs. The paper evaluates on an
+/// Nvidia Pascal P100 and a Volta V100; since this environment has no GPU,
+/// these specs parameterize the transaction-counting simulator and the
+/// roofline performance model that substitute for hardware runs (see
+/// DESIGN.md, "Hardware substitution").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_GPU_DEVICESPEC_H
+#define COGENT_GPU_DEVICESPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace cogent {
+namespace gpu {
+
+/// Static hardware description of one GPU model.
+struct DeviceSpec {
+  std::string Name;
+
+  /// Number of streaming multiprocessors.
+  unsigned NumSMs = 0;
+  /// FP32 cores per SM (both P100 and V100 have 64).
+  unsigned CoresPerSM = 64;
+
+  /// Shared memory capacity per SM, bytes.
+  unsigned SharedMemPerSM = 0;
+  /// Shared memory limit per thread block, bytes.
+  unsigned SharedMemPerBlock = 0;
+  /// 32-bit registers per SM.
+  unsigned RegistersPerSM = 65536;
+  /// Hardware cap on registers addressable by one thread.
+  unsigned MaxRegistersPerThread = 255;
+
+  unsigned MaxThreadsPerSM = 2048;
+  unsigned MaxThreadsPerBlock = 1024;
+  unsigned MaxBlocksPerSM = 32;
+  unsigned WarpSize = 32;
+
+  /// Size and alignment of one global-memory transaction (the cost model in
+  /// the paper assumes 128 bytes == 16 doubles).
+  unsigned TransactionBytes = 128;
+
+  /// Peak DRAM bandwidth, GB/s.
+  double DramBandwidthGBs = 0.0;
+  /// Peak double- and single-precision throughput, GFLOP/s.
+  double PeakGflopsDouble = 0.0;
+  double PeakGflopsSingle = 0.0;
+
+  /// Fixed kernel-launch latency, microseconds.
+  double KernelLaunchOverheadUs = 5.0;
+
+  unsigned maxWarpsPerSM() const { return MaxThreadsPerSM / WarpSize; }
+};
+
+/// Tesla P100 (Pascal, 56 SMs) as used in the paper's Fig. 4/6.
+DeviceSpec makeP100();
+
+/// Tesla V100 (Volta, 80 SMs) as used in the paper's Fig. 5/7/8.
+DeviceSpec makeV100();
+
+} // namespace gpu
+} // namespace cogent
+
+#endif // COGENT_GPU_DEVICESPEC_H

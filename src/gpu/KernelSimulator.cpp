@@ -1,0 +1,330 @@
+//===- gpu/KernelSimulator.cpp -------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/KernelSimulator.h"
+
+#include "core/CostModel.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+using namespace cogent;
+using namespace cogent::gpu;
+using cogent::core::CoordRole;
+using cogent::core::IndexTile;
+using cogent::core::KernelPlan;
+using cogent::core::PlanDim;
+using cogent::core::SliceDim;
+using cogent::core::StoreDim;
+using cogent::ir::Operand;
+using cogent::tensor::Tensor;
+
+namespace {
+
+/// Counts the distinct aligned segments touched by a set of element
+/// addresses; \p Addrs is scratch, modified in place.
+uint64_t countSegments(std::vector<int64_t> &Addrs, unsigned ElementSize,
+                       unsigned TransactionBytes) {
+  if (Addrs.empty())
+    return 0;
+  for (int64_t &Addr : Addrs)
+    Addr = Addr * ElementSize / TransactionBytes;
+  std::sort(Addrs.begin(), Addrs.end());
+  uint64_t Count = 1;
+  for (size_t I = 1; I < Addrs.size(); ++I)
+    Count += Addrs[I] != Addrs[I - 1];
+  return Count;
+}
+
+/// Per-(role coordinate) shared-memory offset tables for one input slice:
+/// SmemOff[role coord] = sum over dims with that role of digit * SmemStride.
+std::vector<int64_t> buildSmemOffsets(const std::vector<SliceDim> &Dims,
+                                      CoordRole Role,
+                                      const std::vector<IndexTile> &List) {
+  int64_t Count = 1;
+  for (const IndexTile &T : List)
+    Count *= T.Tile;
+  std::vector<int64_t> Offsets(static_cast<size_t>(Count), 0);
+  for (int64_t V = 0; V < Count; ++V) {
+    std::vector<int64_t> Digits = core::decodeMixedRadix(V, List);
+    int64_t Off = 0;
+    for (const SliceDim &Dim : Dims)
+      if (Dim.Role == Role)
+        Off += Digits[Dim.RolePos] * Dim.SmemStride;
+    Offsets[static_cast<size_t>(V)] = Off;
+  }
+  return Offsets;
+}
+
+/// Cooperatively loads one input slice into \p Smem, counting warp-exact
+/// transactions. \p ExtBase / \p IntBase give the block/step base
+/// coordinate of every index ('a'..'z').
+template <typename ElementT>
+uint64_t loadSlice(const KernelPlan &Plan, Operand Op,
+                   const Tensor<ElementT> &Global,
+                   const std::array<int64_t, 26> &BaseCoord,
+                   std::vector<ElementT> &Smem, int64_t NumThreads,
+                   const SimOptions &Options) {
+  const std::vector<SliceDim> &Dims = Plan.sliceDims(Op);
+  int64_t SliceElems = Plan.sliceElements(Op);
+  assert(static_cast<int64_t>(Smem.size()) == SliceElems &&
+         "smem buffer size mismatch");
+
+  uint64_t Transactions = 0;
+  std::vector<int64_t> WarpAddrs;
+  WarpAddrs.reserve(Options.WarpSize);
+
+  for (int64_t RoundBase = 0; RoundBase < SliceElems;
+       RoundBase += NumThreads) {
+    int64_t RoundEnd = std::min(RoundBase + NumThreads, SliceElems);
+    for (int64_t WarpBase = RoundBase; WarpBase < RoundEnd;
+         WarpBase += Options.WarpSize) {
+      int64_t WarpEnd =
+          std::min<int64_t>(WarpBase + Options.WarpSize, RoundEnd);
+      WarpAddrs.clear();
+      for (int64_t S = WarpBase; S < WarpEnd; ++S) {
+        // Decode the flattened slice element into per-dim digits. The
+        // element lands at the (possibly permuted) SMEM offset given by
+        // the plan's staging layout.
+        int64_t Rem = S;
+        int64_t Addr = 0;
+        int64_t SmemOff = 0;
+        bool InBounds = true;
+        for (const SliceDim &Dim : Dims) {
+          int64_t Digit = Rem % Dim.Tile;
+          Rem /= Dim.Tile;
+          SmemOff += Digit * Dim.SmemStride;
+          int64_t Coord = BaseCoord[Dim.Name - 'a'] + Digit;
+          if (Coord >= Dim.Extent) {
+            InBounds = false;
+            break;
+          }
+          Addr += Coord * Dim.GlobalStride;
+        }
+        if (InBounds) {
+          Smem[static_cast<size_t>(SmemOff)] = Global.at(Addr);
+          WarpAddrs.push_back(Addr);
+        } else {
+          // Out-of-bounds elements still zero their full staging slot.
+          Rem = S;
+          SmemOff = 0;
+          for (const SliceDim &Dim : Dims) {
+            SmemOff += (Rem % Dim.Tile) * Dim.SmemStride;
+            Rem /= Dim.Tile;
+          }
+          Smem[static_cast<size_t>(SmemOff)] = ElementT(0);
+        }
+      }
+      Transactions += countSegments(WarpAddrs, sizeof(ElementT),
+                                    Options.TransactionBytes);
+    }
+  }
+  return Transactions;
+}
+
+} // namespace
+
+template <typename ElementT>
+SimResult cogent::gpu::simulateKernel(const KernelPlan &Plan,
+                                      Tensor<ElementT> &C,
+                                      const Tensor<ElementT> &A,
+                                      const Tensor<ElementT> &B,
+                                      const SimOptions &Options) {
+  [[maybe_unused]] const ir::Contraction &TC = Plan.contraction();
+  const core::KernelConfig &Config = Plan.config();
+  assert(C.numElements() == TC.numElements(Operand::C) &&
+         A.numElements() == TC.numElements(Operand::A) &&
+         B.numElements() == TC.numElements(Operand::B) &&
+         "operand sizes do not match the contraction");
+
+  SimResult Result;
+  const int64_t TBX = Plan.tbX(), TBY = Plan.tbY();
+  const int64_t REGX = Plan.regX(), REGY = Plan.regY();
+  const int64_t TBK = Plan.tbk();
+  const int64_t NumThreads = TBX * TBY;
+
+  Operand XIn = Config.XInput;
+  Operand YIn = Config.yInput();
+
+  // Shared-memory offset tables for the compute phase (step-invariant).
+  const std::vector<SliceDim> &XDims = Plan.sliceDims(XIn);
+  const std::vector<SliceDim> &YDims = Plan.sliceDims(YIn);
+  std::vector<int64_t> XOffTx =
+      buildSmemOffsets(XDims, CoordRole::ThreadX, Config.TBx);
+  std::vector<int64_t> XOffRx =
+      buildSmemOffsets(XDims, CoordRole::RegX, Config.RegX);
+  std::vector<int64_t> XOffKk =
+      buildSmemOffsets(XDims, CoordRole::Step, Config.TBk);
+  std::vector<int64_t> YOffTy =
+      buildSmemOffsets(YDims, CoordRole::ThreadY, Config.TBy);
+  std::vector<int64_t> YOffRy =
+      buildSmemOffsets(YDims, CoordRole::RegY, Config.RegY);
+  std::vector<int64_t> YOffKk =
+      buildSmemOffsets(YDims, CoordRole::Step, Config.TBk);
+
+  // Per-(role coordinate) intra-tile digits for the store phase, one entry
+  // per C dim: digit tables indexed by the role coordinate value.
+  const std::vector<StoreDim> &CDims = Plan.storeDims();
+  auto storeDigits = [&](CoordRole Role, const std::vector<IndexTile> &List) {
+    int64_t Count = 1;
+    for (const IndexTile &T : List)
+      Count *= T.Tile;
+    // Digits[v][dim] for C dims with this role; others 0.
+    std::vector<std::vector<int64_t>> Digits(
+        static_cast<size_t>(Count),
+        std::vector<int64_t>(CDims.size(), 0));
+    for (int64_t V = 0; V < Count; ++V) {
+      std::vector<int64_t> Decoded = core::decodeMixedRadix(V, List);
+      for (size_t D = 0; D < CDims.size(); ++D)
+        if (CDims[D].Role == Role)
+          Digits[static_cast<size_t>(V)][D] = Decoded[CDims[D].RolePos];
+    }
+    return Digits;
+  };
+  std::vector<std::vector<int64_t>> CDigTx =
+      storeDigits(CoordRole::ThreadX, Config.TBx);
+  std::vector<std::vector<int64_t>> CDigTy =
+      storeDigits(CoordRole::ThreadY, Config.TBy);
+  std::vector<std::vector<int64_t>> CDigRx =
+      storeDigits(CoordRole::RegX, Config.RegX);
+  std::vector<std::vector<int64_t>> CDigRy =
+      storeDigits(CoordRole::RegY, Config.RegY);
+
+  std::vector<ElementT> SmemX(
+      static_cast<size_t>(Plan.sliceElements(XIn)));
+  std::vector<ElementT> SmemY(
+      static_cast<size_t>(Plan.sliceElements(YIn)));
+  std::vector<ElementT> Acc(
+      static_cast<size_t>(NumThreads * REGX * REGY));
+  std::vector<ElementT> RegA(static_cast<size_t>(REGX));
+  std::vector<ElementT> RegB(static_cast<size_t>(REGY));
+
+  const std::vector<PlanDim> &GridDims = Plan.gridDims();
+  const std::vector<PlanDim> &StepDims = Plan.stepDims();
+  std::array<int64_t, 26> BaseCoord{}; // block + step base per index
+
+  std::vector<int64_t> WarpAddrs;
+  WarpAddrs.reserve(Options.WarpSize);
+
+  for (int64_t Block = 0; Block < Plan.numBlocks(); ++Block) {
+    // Grid decode.
+    int64_t Rem = Block;
+    for (const PlanDim &Dim : GridDims) {
+      BaseCoord[Dim.Name - 'a'] = (Rem % Dim.NumTiles) * Dim.Tile;
+      Rem /= Dim.NumTiles;
+    }
+    std::fill(Acc.begin(), Acc.end(), ElementT(0));
+
+    for (int64_t Step = 0; Step < Plan.numSteps(); ++Step) {
+      // Step decode.
+      int64_t SRem = Step;
+      for (const PlanDim &Dim : StepDims) {
+        BaseCoord[Dim.Name - 'a'] = (SRem % Dim.NumTiles) * Dim.Tile;
+        SRem /= Dim.NumTiles;
+      }
+
+      uint64_t TransX = loadSlice(Plan, XIn, XIn == Operand::A ? A : B,
+                                  BaseCoord, SmemX, NumThreads, Options);
+      uint64_t TransY = loadSlice(Plan, YIn, YIn == Operand::A ? A : B,
+                                  BaseCoord, SmemY, NumThreads, Options);
+      (XIn == Operand::A ? Result.TransactionsA : Result.TransactionsB) +=
+          TransX;
+      (YIn == Operand::A ? Result.TransactionsA : Result.TransactionsB) +=
+          TransY;
+
+      // Compute phase: every thread stages REGX + REGY values per kk and
+      // accumulates the outer product.
+      for (int64_t Ty = 0; Ty < TBY; ++Ty) {
+        for (int64_t Tx = 0; Tx < TBX; ++Tx) {
+          ElementT *ThreadAcc =
+              Acc.data() + (Tx + TBX * Ty) * REGX * REGY;
+          for (int64_t Kk = 0; Kk < TBK; ++Kk) {
+            for (int64_t Rx = 0; Rx < REGX; ++Rx)
+              RegA[static_cast<size_t>(Rx)] =
+                  SmemX[static_cast<size_t>(XOffTx[Tx] + XOffRx[Rx] +
+                                            XOffKk[Kk])];
+            for (int64_t Ry = 0; Ry < REGY; ++Ry)
+              RegB[static_cast<size_t>(Ry)] =
+                  SmemY[static_cast<size_t>(YOffTy[Ty] + YOffRy[Ry] +
+                                            YOffKk[Kk])];
+            for (int64_t Rx = 0; Rx < REGX; ++Rx)
+              for (int64_t Ry = 0; Ry < REGY; ++Ry)
+                ThreadAcc[Rx * REGY + Ry] +=
+                    RegA[static_cast<size_t>(Rx)] *
+                    RegB[static_cast<size_t>(Ry)];
+          }
+        }
+      }
+      Result.SmemBytesRead += static_cast<double>(NumThreads) * TBK *
+                              (REGX + REGY) * sizeof(ElementT);
+    }
+
+    // Store phase. The kernel stores r_C[rx][ry] across all threads; a warp
+    // issues one coalesced batch per (rx, ry) pair.
+    // Reset step-base coordinates: internal indices play no role in C.
+    for (const PlanDim &Dim : StepDims)
+      BaseCoord[Dim.Name - 'a'] = 0;
+
+    for (int64_t Rx = 0; Rx < REGX; ++Rx) {
+      for (int64_t Ry = 0; Ry < REGY; ++Ry) {
+        for (int64_t WarpBase = 0; WarpBase < NumThreads;
+             WarpBase += Options.WarpSize) {
+          int64_t WarpEnd = std::min<int64_t>(WarpBase + Options.WarpSize,
+                                              NumThreads);
+          WarpAddrs.clear();
+          for (int64_t Tid = WarpBase; Tid < WarpEnd; ++Tid) {
+            int64_t Tx = Tid % TBX;
+            int64_t Ty = Tid / TBX;
+            int64_t Addr = 0;
+            bool InBounds = true;
+            for (size_t D = 0; D < CDims.size(); ++D) {
+              int64_t Coord =
+                  BaseCoord[CDims[D].Name - 'a'] +
+                  CDigTx[static_cast<size_t>(Tx)][D] +
+                  CDigTy[static_cast<size_t>(Ty)][D] +
+                  CDigRx[static_cast<size_t>(Rx)][D] +
+                  CDigRy[static_cast<size_t>(Ry)][D];
+              if (Coord >= CDims[D].Extent) {
+                InBounds = false;
+                break;
+              }
+              Addr += Coord * CDims[D].GlobalStride;
+            }
+            if (!InBounds)
+              continue;
+            C.at(Addr) =
+                Acc[static_cast<size_t>((Tx + TBX * Ty) * REGX * REGY +
+                                        Rx * REGY + Ry)];
+            WarpAddrs.push_back(Addr);
+          }
+          Result.TransactionsC += countSegments(
+              WarpAddrs, sizeof(ElementT), Options.TransactionBytes);
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+template SimResult cogent::gpu::simulateKernel<double>(
+    const KernelPlan &, Tensor<double> &, const Tensor<double> &,
+    const Tensor<double> &, const SimOptions &);
+template SimResult cogent::gpu::simulateKernel<float>(
+    const KernelPlan &, Tensor<float> &, const Tensor<float> &,
+    const Tensor<float> &, const SimOptions &);
+
+KernelProfile cogent::gpu::makeProfileFromSim(const KernelPlan &Plan,
+                                              const DeviceSpec &Device,
+                                              unsigned ElementSize,
+                                              const SimResult &Sim) {
+  KernelProfile Profile =
+      core::makeKernelProfile(Plan, Device, ElementSize);
+  Profile.DramBytes = static_cast<double>(Sim.totalTransactions()) *
+                      Device.TransactionBytes;
+  Profile.SmemBytes = Sim.SmemBytesRead;
+  return Profile;
+}

@@ -1,0 +1,205 @@
+//===- gpu/LearnedRanker.cpp ---------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/LearnedRanker.h"
+
+#include "core/CostModel.h"
+#include "core/Enumerator.h"
+#include "gpu/KernelSimulator.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace cogent;
+using namespace cogent::gpu;
+using cogent::core::KernelPlan;
+using cogent::ir::Contraction;
+using cogent::ir::Operand;
+
+std::vector<double> LearnedRanker::featuresOf(const KernelPlan &Plan,
+                                              const DeviceSpec &Device,
+                                              unsigned ElementSize) {
+  core::TransactionCost Cost =
+      core::estimateTransactions(Plan, ElementSize, Device.TransactionBytes);
+  OccupancyResult Occ = core::planOccupancy(Plan, Device, ElementSize);
+  double Wave =
+      waveEfficiency(Device, Plan.numBlocks(), Occ.BlocksPerSM);
+
+  auto logOf = [](double V) { return std::log(std::max(V, 1.0)); };
+  std::vector<double> Features;
+  Features.reserve(NumFeatures);
+  Features.push_back(1.0); // bias
+  Features.push_back(logOf(Cost.total()));
+  Features.push_back(Occ.Occupancy);
+  Features.push_back(Wave);
+  Features.push_back(logOf(static_cast<double>(Plan.threadsPerBlock())));
+  Features.push_back(
+      logOf(static_cast<double>(Plan.regX() * Plan.regY())));
+  Features.push_back(logOf(static_cast<double>(Plan.numSteps())));
+  Features.push_back(
+      logOf(static_cast<double>(Plan.config().smemBytes(ElementSize))));
+  Features.push_back(
+      logOf(static_cast<double>(Plan.contiguousRun(Operand::A))));
+  Features.push_back(
+      logOf(static_cast<double>(Plan.contiguousRun(Operand::B))));
+  assert(Features.size() == NumFeatures && "feature count drifted");
+  return Features;
+}
+
+void LearnedRanker::train(const std::vector<std::vector<double>> &Samples,
+                          const std::vector<double> &Targets, double Ridge) {
+  assert(!Samples.empty() && Samples.size() == Targets.size() &&
+         "bad training set");
+  const size_t Dim = NumFeatures;
+
+  // Standardize every non-bias column so the ridge penalty treats all
+  // features equally (raw scales span log-traffic ~15 vs occupancy ~0.5).
+  FeatureMean.assign(Dim, 0.0);
+  FeatureScale.assign(Dim, 1.0);
+  for (size_t J = 1; J < Dim; ++J) {
+    double Mean = 0.0;
+    for (const std::vector<double> &X : Samples)
+      Mean += X[J];
+    Mean /= static_cast<double>(Samples.size());
+    double Var = 0.0;
+    for (const std::vector<double> &X : Samples)
+      Var += (X[J] - Mean) * (X[J] - Mean);
+    Var /= static_cast<double>(Samples.size());
+    FeatureMean[J] = Mean;
+    FeatureScale[J] = Var > 1e-12 ? std::sqrt(Var) : 1.0;
+  }
+  auto standardized = [&](const std::vector<double> &X, size_t J) {
+    return (X[J] - FeatureMean[J]) / FeatureScale[J];
+  };
+
+  // Normal equations: (X^T X + ridge I) w = X^T y (no penalty on bias).
+  std::vector<double> XtX(Dim * Dim, 0.0), Xty(Dim, 0.0);
+  for (size_t S = 0; S < Samples.size(); ++S) {
+    assert(Samples[S].size() == Dim && "feature vector size mismatch");
+    for (size_t I = 0; I < Dim; ++I) {
+      double XI = standardized(Samples[S], I);
+      Xty[I] += XI * Targets[S];
+      for (size_t J = 0; J < Dim; ++J)
+        XtX[I * Dim + J] += XI * standardized(Samples[S], J);
+    }
+  }
+  for (size_t I = 1; I < Dim; ++I)
+    XtX[I * Dim + I] += Ridge;
+  XtX[0] += 1e-9; // keep the bias row invertible
+
+  // Gaussian elimination with partial pivoting (Dim is tiny).
+  std::vector<double> W = Xty;
+  for (size_t Col = 0; Col < Dim; ++Col) {
+    size_t Pivot = Col;
+    for (size_t Row = Col + 1; Row < Dim; ++Row)
+      if (std::abs(XtX[Row * Dim + Col]) > std::abs(XtX[Pivot * Dim + Col]))
+        Pivot = Row;
+    if (Pivot != Col) {
+      for (size_t J = 0; J < Dim; ++J)
+        std::swap(XtX[Col * Dim + J], XtX[Pivot * Dim + J]);
+      std::swap(W[Col], W[Pivot]);
+    }
+    double Diag = XtX[Col * Dim + Col];
+    assert(std::abs(Diag) > 1e-12 && "singular ridge system");
+    for (size_t Row = Col + 1; Row < Dim; ++Row) {
+      double Factor = XtX[Row * Dim + Col] / Diag;
+      for (size_t J = Col; J < Dim; ++J)
+        XtX[Row * Dim + J] -= Factor * XtX[Col * Dim + J];
+      W[Row] -= Factor * W[Col];
+    }
+  }
+  for (size_t Col = Dim; Col-- > 0;) {
+    for (size_t J = Col + 1; J < Dim; ++J)
+      W[Col] -= XtX[Col * Dim + J] * W[J];
+    W[Col] /= XtX[Col * Dim + Col];
+  }
+  Weights = std::move(W);
+}
+
+double LearnedRanker::predict(const std::vector<double> &Features) const {
+  assert(isTrained() && "predicting with an untrained ranker");
+  assert(Features.size() == Weights.size() && "feature size mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I)
+    Sum += Weights[I] * (Features[I] - FeatureMean[I]) / FeatureScale[I];
+  return Sum;
+}
+
+LearnedRanker LearnedRanker::fitFromSimulation(const Contraction &TC,
+                                               const DeviceSpec &Device,
+                                               unsigned ElementSize,
+                                               size_t MaxSamples,
+                                               int64_t MeasureExtent,
+                                               uint64_t Seed) {
+  // Measurement-size version of the contraction.
+  std::vector<std::pair<char, int64_t>> Extents;
+  for (char Name : TC.allIndices())
+    Extents.emplace_back(Name, std::min(TC.extent(Name), MeasureExtent));
+  ErrorOr<Contraction> Small = Contraction::parse(TC.toString(), Extents);
+  assert(Small.hasValue() && "rescaling a valid contraction cannot fail");
+
+  core::EnumerationOptions Options;
+  Options.MinThreadBlocks = 1;
+  Options.MinOccupancy = 0.0;
+  Options.ElementSize = ElementSize;
+  core::Enumerator Enum(*Small, Device, Options);
+  std::vector<core::KernelConfig> Configs = Enum.enumerate();
+  assert(!Configs.empty() && "nothing to train on");
+
+  // Deterministic stratified sample.
+  std::vector<core::KernelConfig> Sampled;
+  size_t Stride = std::max<size_t>(1, Configs.size() / MaxSamples);
+  for (size_t I = 0; I < Configs.size() && Sampled.size() < MaxSamples;
+       I += Stride)
+    Sampled.push_back(Configs[I]);
+
+  Rng Generator(Seed);
+  tensor::Tensor<double> A = tensor::makeOperand<double>(*Small, Operand::A);
+  tensor::Tensor<double> B = tensor::makeOperand<double>(*Small, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  tensor::Tensor<double> C = tensor::makeOperand<double>(*Small, Operand::C);
+
+  Calibration Calib = makeCalibration(Device);
+  std::vector<std::vector<double>> Samples;
+  std::vector<double> Targets;
+  for (const core::KernelConfig &Config : Sampled) {
+    KernelPlan Plan(*Small, Config);
+    Samples.push_back(featuresOf(Plan, Device, ElementSize));
+    SimResult Sim = simulateKernel(Plan, C, A, B);
+    KernelProfile Profile =
+        makeProfileFromSim(Plan, Device, ElementSize, Sim);
+    double Gflops = estimateKernelTime(Device, Calib, Profile).Gflops;
+    Targets.push_back(std::log(std::max(Gflops, 1e-3)));
+  }
+
+  LearnedRanker Ranker;
+  Ranker.train(Samples, Targets);
+  return Ranker;
+}
+
+std::vector<size_t>
+LearnedRanker::rank(const Contraction &TC,
+                    const core::GenerationResult &Result,
+                    const DeviceSpec &Device, unsigned ElementSize) const {
+  assert(isTrained() && "ranking with an untrained ranker");
+  std::vector<double> Scores;
+  Scores.reserve(Result.Kernels.size());
+  for (const core::GeneratedKernel &Kernel : Result.Kernels) {
+    KernelPlan Plan(TC, Kernel.Config);
+    Scores.push_back(predict(featuresOf(Plan, Device, ElementSize)));
+  }
+  std::vector<size_t> Order(Scores.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t X, size_t Y) {
+    return Scores[X] > Scores[Y];
+  });
+  return Order;
+}

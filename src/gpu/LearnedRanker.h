@@ -1,0 +1,82 @@
+//===- gpu/LearnedRanker.h - Learning-based candidate selection (§VI) ------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The enhancement sketched in the paper's related-work discussion: keep
+/// COGENT's model-driven definition of the candidate space, but *learn* the
+/// final selection among the top candidates instead of trusting the
+/// analytic transaction count alone. A ridge-regression model maps cheap
+/// per-configuration features (modeled traffic, occupancy, wave efficiency,
+/// tile geometry, coalescing runs) to log-performance, trained on simulated
+/// measurements of sampled configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_GPU_LEARNEDRANKER_H
+#define COGENT_GPU_LEARNEDRANKER_H
+
+#include "core/Cogent.h"
+#include "core/KernelPlan.h"
+#include "gpu/DeviceSpec.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cogent {
+namespace gpu {
+
+/// Linear model over hand-crafted configuration features.
+class LearnedRanker {
+public:
+  /// Number of features produced by featuresOf (including the bias term).
+  static constexpr size_t NumFeatures = 10;
+
+  /// Extracts the feature vector of one lowered configuration.
+  static std::vector<double> featuresOf(const core::KernelPlan &Plan,
+                                        const DeviceSpec &Device,
+                                        unsigned ElementSize);
+
+  /// Fits ridge regression (normal equations) of \p Targets on \p Samples.
+  /// Features are standardized internally (z-scored per column) so the
+  /// ridge penalty is scale-free. \pre every sample has NumFeatures
+  /// entries; Samples.size() == Targets.size() >= 1.
+  void train(const std::vector<std::vector<double>> &Samples,
+             const std::vector<double> &Targets, double Ridge = 1.0);
+
+  bool isTrained() const { return !Weights.empty(); }
+
+  /// Predicted target (log-GFLOPS by convention) of one feature vector.
+  double predict(const std::vector<double> &Features) const;
+
+  const std::vector<double> &weights() const { return Weights; }
+
+  /// Trains a ranker for \p TC by sampling up to \p MaxSamples enumerated
+  /// configurations, simulating each at extents clamped to
+  /// \p MeasureExtent, and regressing log simulated GFLOPS on the features.
+  static LearnedRanker fitFromSimulation(const ir::Contraction &TC,
+                                         const DeviceSpec &Device,
+                                         unsigned ElementSize,
+                                         size_t MaxSamples = 32,
+                                         int64_t MeasureExtent = 10,
+                                         uint64_t Seed = 0x1ea5ULL);
+
+  /// Ranks the kernels of \p Result best-first by predicted performance.
+  std::vector<size_t> rank(const ir::Contraction &TC,
+                           const core::GenerationResult &Result,
+                           const DeviceSpec &Device,
+                           unsigned ElementSize) const;
+
+private:
+  std::vector<double> Weights;
+  /// Per-feature standardization parameters captured at training time.
+  std::vector<double> FeatureMean;
+  std::vector<double> FeatureScale;
+};
+
+} // namespace gpu
+} // namespace cogent
+
+#endif // COGENT_GPU_LEARNEDRANKER_H

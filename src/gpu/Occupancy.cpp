@@ -1,0 +1,69 @@
+//===- gpu/Occupancy.cpp ---------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/Occupancy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace cogent;
+using namespace cogent::gpu;
+
+OccupancyResult cogent::gpu::computeOccupancy(const DeviceSpec &Device,
+                                              const BlockResources &Block) {
+  OccupancyResult Result;
+  if (Block.ThreadsPerBlock == 0 ||
+      Block.ThreadsPerBlock > Device.MaxThreadsPerBlock ||
+      Block.SharedMemBytes > Device.SharedMemPerBlock ||
+      Block.RegistersPerThread > Device.MaxRegistersPerThread)
+    return Result;
+
+  unsigned ByThreads = Device.MaxThreadsPerSM / Block.ThreadsPerBlock;
+  unsigned BySmem = Block.SharedMemBytes == 0
+                        ? Device.MaxBlocksPerSM
+                        : Device.SharedMemPerSM / Block.SharedMemBytes;
+  unsigned RegsPerBlock = Block.RegistersPerThread * Block.ThreadsPerBlock;
+  unsigned ByRegs = RegsPerBlock == 0 ? Device.MaxBlocksPerSM
+                                      : Device.RegistersPerSM / RegsPerBlock;
+
+  unsigned Blocks = std::min({ByThreads, BySmem, ByRegs,
+                              Device.MaxBlocksPerSM});
+  if (Blocks == 0)
+    return Result;
+
+  Result.BlocksPerSM = Blocks;
+  if (Blocks == ByThreads)
+    Result.Limiter = "threads";
+  if (Blocks == ByRegs)
+    Result.Limiter = "regs";
+  if (Blocks == BySmem)
+    Result.Limiter = "smem";
+  if (Blocks == Device.MaxBlocksPerSM)
+    Result.Limiter = "blocks";
+
+  unsigned WarpsPerBlock =
+      (Block.ThreadsPerBlock + Device.WarpSize - 1) / Device.WarpSize;
+  Result.Occupancy = std::min(
+      1.0, static_cast<double>(Blocks * WarpsPerBlock) /
+               static_cast<double>(Device.maxWarpsPerSM()));
+  return Result;
+}
+
+double cogent::gpu::waveEfficiency(const DeviceSpec &Device,
+                                   long long NumBlocks,
+                                   unsigned BlocksPerSM) {
+  assert(NumBlocks >= 0 && "negative block count");
+  if (NumBlocks == 0 || BlocksPerSM == 0)
+    return 0.0;
+  long long BlocksPerWave =
+      static_cast<long long>(Device.NumSMs) * BlocksPerSM;
+  double Waves = static_cast<double>(NumBlocks) /
+                 static_cast<double>(BlocksPerWave);
+  // A partially filled final wave leaves SMs idle; with fewer blocks than
+  // SMs the machine is mostly dark.
+  return Waves / std::ceil(Waves);
+}

@@ -1,0 +1,56 @@
+//===- gpu/Occupancy.h - SM occupancy calculator ---------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes achievable SM occupancy for a kernel's resource footprint, in
+/// the manner of the CUDA occupancy calculator. Occupancy feeds both the
+/// enumerator's performance pruning ("the shared memory size and number of
+/// registers per thread affects achievable occupancy", §IV-A2) and the
+/// roofline performance model's latency-hiding factors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_GPU_OCCUPANCY_H
+#define COGENT_GPU_OCCUPANCY_H
+
+#include "gpu/DeviceSpec.h"
+
+namespace cogent {
+namespace gpu {
+
+/// Resource footprint of one thread block.
+struct BlockResources {
+  unsigned ThreadsPerBlock = 0;
+  unsigned SharedMemBytes = 0;
+  unsigned RegistersPerThread = 0;
+};
+
+/// Result of the occupancy computation.
+struct OccupancyResult {
+  /// Resident blocks per SM (0 when the block does not fit at all).
+  unsigned BlocksPerSM = 0;
+  /// Resident warps / max warps, in [0, 1].
+  double Occupancy = 0.0;
+  /// Which resource capped BlocksPerSM ("threads", "smem", "regs",
+  /// "blocks", or "unfit").
+  const char *Limiter = "unfit";
+};
+
+/// Computes the number of co-resident blocks per SM and the resulting
+/// occupancy for \p Block on \p Device.
+OccupancyResult computeOccupancy(const DeviceSpec &Device,
+                                 const BlockResources &Block);
+
+/// Fraction of SMs doing useful work when \p NumBlocks blocks are launched
+/// and \p BlocksPerSM fit per SM: accounts for the load-balancing tail the
+/// paper's "number of thread blocks above a threshold" constraint targets.
+double waveEfficiency(const DeviceSpec &Device, long long NumBlocks,
+                      unsigned BlocksPerSM);
+
+} // namespace gpu
+} // namespace cogent
+
+#endif // COGENT_GPU_OCCUPANCY_H

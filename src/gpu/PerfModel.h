@@ -1,0 +1,100 @@
+//===- gpu/PerfModel.h - Roofline-style kernel time model ------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts a kernel's measured resource usage (exact DRAM traffic from the
+/// transaction-counting simulator, FLOP count, occupancy) into a predicted
+/// execution time on a DeviceSpec. This is the stand-in for running nvcc
+/// binaries on real P100/V100 hardware: a calibrated roofline
+///
+///   t = max(t_dram, t_compute, t_smem) (1 + overlap slack) + launch
+///
+/// whose calibration constants are documented in DESIGN.md / EXPERIMENTS.md.
+/// Relative orderings between configurations — the thing the paper's search
+/// depends on — follow from the exact traffic numbers, not the calibration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_GPU_PERFMODEL_H
+#define COGENT_GPU_PERFMODEL_H
+
+#include "gpu/DeviceSpec.h"
+
+namespace cogent {
+namespace gpu {
+
+/// Everything the model needs to know about one kernel execution.
+struct KernelProfile {
+  /// Useful arithmetic (2 * multiply-add count).
+  double Flops = 0.0;
+  /// Exact DRAM bytes moved (transactions * TransactionBytes).
+  double DramBytes = 0.0;
+  /// Shared-memory bytes read by the compute phase (register staging).
+  double SmemBytes = 0.0;
+  /// Achieved SM occupancy in [0, 1].
+  double Occupancy = 1.0;
+  /// Tail/load-balance efficiency in [0, 1] (see waveEfficiency).
+  double WaveEff = 1.0;
+  /// 8 for double precision, 4 for single.
+  unsigned ElementSize = 8;
+  /// Per-thread inner-loop FMAs (REGx * REGy); proxies instruction-level
+  /// parallelism available to hide latency.
+  double RegisterTileFlops = 16.0;
+  /// Number of kernel launches the operation requires.
+  unsigned Launches = 1;
+  /// True when the kernel software-pipelines its staging (double-buffered
+  /// shared memory): loads overlap compute, shrinking the non-overlap
+  /// slack.
+  bool SoftwarePipelined = false;
+};
+
+/// Model output.
+struct PerfEstimate {
+  double TimeMs = 0.0;
+  double Gflops = 0.0;
+  double DramTimeMs = 0.0;
+  double ComputeTimeMs = 0.0;
+  double SmemTimeMs = 0.0;
+  /// Which roofline term dominated ("dram", "compute" or "smem").
+  const char *Bound = "dram";
+};
+
+/// Per-architecture calibration of achievable efficiency. Defaults are
+/// chosen per device (Pascal sustains a lower fraction of its peak DRAM
+/// bandwidth than Volta; see makeCalibration).
+struct Calibration {
+  /// Fraction of peak DRAM bandwidth achievable at full occupancy.
+  double MaxDramEfficiency = 0.80;
+  /// Fraction of peak FLOPS achievable with ideal ILP.
+  double MaxComputeEfficiency = 0.85;
+  /// Shared-memory bandwidth, GB/s.
+  double SmemBandwidthGBs = 12000.0;
+  /// Occupancy needed to saturate DRAM bandwidth.
+  double DramSaturationOccupancy = 0.25;
+  /// Per-thread FMA count at which ILP stops limiting compute.
+  double IlpSaturationFlops = 16.0;
+  /// Fractional time added for imperfect memory/compute overlap.
+  double OverlapSlack = 0.15;
+};
+
+/// Default calibration for \p Device (keyed on its name).
+Calibration makeCalibration(const DeviceSpec &Device);
+
+/// Predicts execution time and achieved GFLOPS of \p Profile on \p Device.
+PerfEstimate estimateKernelTime(const DeviceSpec &Device,
+                                const Calibration &Calib,
+                                const KernelProfile &Profile);
+
+/// Predicted time (ms) of a pure streaming operation (e.g. a cuTT-style
+/// transpose) that moves \p Bytes of DRAM traffic at \p Efficiency of the
+/// calibrated bandwidth.
+double estimateStreamTimeMs(const DeviceSpec &Device, const Calibration &Calib,
+                            double Bytes, double Efficiency);
+
+} // namespace gpu
+} // namespace cogent
+
+#endif // COGENT_GPU_PERFMODEL_H

@@ -1,0 +1,50 @@
+//===- support/Random.h - Deterministic random helpers --------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random number helpers. Everything in the repository that needs
+/// randomness (tensor fills, genetic-algorithm mutation, property tests)
+/// routes through this so runs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_SUPPORT_RANDOM_H
+#define COGENT_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+namespace cogent {
+
+/// A seeded mersenne-twister wrapper with convenience draws.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eedULL) : Engine(Seed) {}
+
+  /// Uniform integer in [Lo, Hi], inclusive on both ends.
+  int64_t uniformInt(int64_t Lo, int64_t Hi) {
+    std::uniform_int_distribution<int64_t> Dist(Lo, Hi);
+    return Dist(Engine);
+  }
+
+  /// Uniform real in [Lo, Hi).
+  double uniformReal(double Lo = 0.0, double Hi = 1.0) {
+    std::uniform_real_distribution<double> Dist(Lo, Hi);
+    return Dist(Engine);
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool flip(double P = 0.5) { return uniformReal() < P; }
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace cogent
+
+#endif // COGENT_SUPPORT_RANDOM_H

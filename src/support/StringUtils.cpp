@@ -1,0 +1,53 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace cogent;
+
+std::vector<std::string> cogent::split(const std::string &Text,
+                                       char Separator) {
+  std::vector<std::string> Pieces;
+  std::string Current;
+  for (char C : Text) {
+    if (C == Separator) {
+      Pieces.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    Current.push_back(C);
+  }
+  Pieces.push_back(Current);
+  return Pieces;
+}
+
+std::string cogent::join(const std::vector<std::string> &Pieces,
+                         const std::string &Separator) {
+  std::string Result;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Pieces[I];
+  }
+  return Result;
+}
+
+std::string cogent::trim(const std::string &Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string cogent::indent(unsigned Level) {
+  return std::string(static_cast<size_t>(Level) * 2, ' ');
+}

@@ -1,0 +1,37 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String splitting/joining/trimming helpers used by the contraction parser
+/// and the CUDA source emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_SUPPORT_STRINGUTILS_H
+#define COGENT_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace cogent {
+
+/// Splits \p Text on every occurrence of \p Separator. Empty pieces are kept,
+/// so "a--b" split on '-' yields {"a", "", "b"}.
+std::vector<std::string> split(const std::string &Text, char Separator);
+
+/// Joins \p Pieces with \p Separator between consecutive elements.
+std::string join(const std::vector<std::string> &Pieces,
+                 const std::string &Separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+/// Repeats two-space indentation \p Level times; used by the code emitter.
+std::string indent(unsigned Level);
+
+} // namespace cogent
+
+#endif // COGENT_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,90 @@
+//===- tensor/Reference.h - Naive reference contraction --------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The numerical oracle: a direct nested-loop implementation of an arbitrary
+/// contraction, used to validate every other execution path (kernel
+/// simulator, TTGT, generated-code schedules).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_TENSOR_REFERENCE_H
+#define COGENT_TENSOR_REFERENCE_H
+
+#include "ir/Contraction.h"
+#include "tensor/Tensor.h"
+
+namespace cogent {
+namespace tensor {
+
+/// Allocates operand \p Op of \p TC with its natural shape (extents in the
+/// operand's own index order, FVI first).
+template <typename ElementT>
+Tensor<ElementT> makeOperand(const ir::Contraction &TC, ir::Operand Op) {
+  std::vector<int64_t> Shape;
+  for (char Name : TC.indices(Op))
+    Shape.push_back(TC.extent(Name));
+  return Tensor<ElementT>(Shape);
+}
+
+/// Computes C = A * B by direct summation: for every external multi-index,
+/// accumulate over the full internal iteration space. O(prod of all extents)
+/// work, intended for validation at small sizes only.
+template <typename ElementT>
+void contractReference(const ir::Contraction &TC, Tensor<ElementT> &C,
+                       const Tensor<ElementT> &A, const Tensor<ElementT> &B) {
+  std::vector<char> Externals = TC.externalIndices();
+  std::vector<char> Internals = TC.internalIndices();
+
+  // Per loop-index strides into each operand (0 when the operand does not
+  // contain the index), so offsets are simple dot products.
+  auto stridesFor = [&](ir::Operand Op, const std::vector<char> &Names) {
+    std::vector<int64_t> Strides;
+    for (char Name : Names)
+      Strides.push_back(TC.contains(Op, Name) ? TC.strideIn(Op, Name) : 0);
+    return Strides;
+  };
+  std::vector<int64_t> ExtStrideC = stridesFor(ir::Operand::C, Externals);
+  std::vector<int64_t> ExtStrideA = stridesFor(ir::Operand::A, Externals);
+  std::vector<int64_t> ExtStrideB = stridesFor(ir::Operand::B, Externals);
+  std::vector<int64_t> IntStrideA = stridesFor(ir::Operand::A, Internals);
+  std::vector<int64_t> IntStrideB = stridesFor(ir::Operand::B, Internals);
+
+  auto extentsOf = [&](const std::vector<char> &Names) {
+    std::vector<int64_t> Extents;
+    for (char Name : Names)
+      Extents.push_back(TC.extent(Name));
+    return Extents;
+  };
+  std::vector<int64_t> ExtShape = extentsOf(Externals);
+  std::vector<int64_t> IntShape = extentsOf(Internals);
+
+  auto dot = [](const std::vector<int64_t> &X, const std::vector<int64_t> &Y) {
+    int64_t Sum = 0;
+    for (size_t I = 0; I < X.size(); ++I)
+      Sum += X[I] * Y[I];
+    return Sum;
+  };
+
+  std::vector<int64_t> Ext(Externals.size(), 0);
+  do {
+    int64_t BaseA = dot(Ext, ExtStrideA);
+    int64_t BaseB = dot(Ext, ExtStrideB);
+    double Acc = 0.0;
+    std::vector<int64_t> Int(Internals.size(), 0);
+    do {
+      int64_t OffA = BaseA + dot(Int, IntStrideA);
+      int64_t OffB = BaseB + dot(Int, IntStrideB);
+      Acc += static_cast<double>(A.at(OffA)) * static_cast<double>(B.at(OffB));
+    } while (advanceOdometer(Int, IntShape));
+    C.at(dot(Ext, ExtStrideC)) = static_cast<ElementT>(Acc);
+  } while (advanceOdometer(Ext, ExtShape));
+}
+
+} // namespace tensor
+} // namespace cogent
+
+#endif // COGENT_TENSOR_REFERENCE_H

@@ -1,0 +1,21 @@
+//===- tensor/Tensor.cpp ---------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Tensor.h"
+
+using namespace cogent;
+using namespace cogent::tensor;
+
+bool cogent::tensor::advanceOdometer(std::vector<int64_t> &MultiIndex,
+                                     const std::vector<int64_t> &Shape) {
+  assert(MultiIndex.size() == Shape.size() && "rank mismatch");
+  for (size_t I = 0; I < MultiIndex.size(); ++I) {
+    if (++MultiIndex[I] < Shape[I])
+      return true;
+    MultiIndex[I] = 0;
+  }
+  return false;
+}

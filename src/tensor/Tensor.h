@@ -1,0 +1,131 @@
+//===- tensor/Tensor.h - Dense column-major tensors ------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal dense tensor with column-major (FVI-first) layout, the storage
+/// substrate shared by the reference contraction, the kernel simulator and
+/// the TTGT baseline. Elements are any arithmetic type; double and float are
+/// the two instantiations the project uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_TENSOR_TENSOR_H
+#define COGENT_TENSOR_TENSOR_H
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace cogent {
+namespace tensor {
+
+/// Dense tensor with column-major layout: the first ("fastest varying")
+/// dimension is contiguous, matching the paper's FVI convention.
+template <typename ElementT> class Tensor {
+public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given \p Shape (FVI first).
+  explicit Tensor(std::vector<int64_t> Shape) : Shape(std::move(Shape)) {
+    Strides.resize(this->Shape.size());
+    int64_t Stride = 1;
+    for (size_t I = 0; I < this->Shape.size(); ++I) {
+      assert(this->Shape[I] > 0 && "tensor dimensions must be positive");
+      Strides[I] = Stride;
+      Stride *= this->Shape[I];
+    }
+    Data.assign(static_cast<size_t>(Stride), ElementT(0));
+  }
+
+  unsigned rank() const { return static_cast<unsigned>(Shape.size()); }
+  const std::vector<int64_t> &shape() const { return Shape; }
+  const std::vector<int64_t> &strides() const { return Strides; }
+  int64_t numElements() const { return static_cast<int64_t>(Data.size()); }
+
+  ElementT *data() { return Data.data(); }
+  const ElementT *data() const { return Data.data(); }
+
+  ElementT &at(int64_t Flat) {
+    assert(Flat >= 0 && Flat < numElements() && "flat index out of range");
+    return Data[static_cast<size_t>(Flat)];
+  }
+  ElementT at(int64_t Flat) const {
+    assert(Flat >= 0 && Flat < numElements() && "flat index out of range");
+    return Data[static_cast<size_t>(Flat)];
+  }
+
+  /// Flat offset of a multi-index (FVI first). Size must equal rank().
+  int64_t offsetOf(const std::vector<int64_t> &MultiIndex) const {
+    assert(MultiIndex.size() == Shape.size() && "rank mismatch");
+    int64_t Offset = 0;
+    for (size_t I = 0; I < MultiIndex.size(); ++I) {
+      assert(MultiIndex[I] >= 0 && MultiIndex[I] < Shape[I] &&
+             "multi-index out of range");
+      Offset += MultiIndex[I] * Strides[I];
+    }
+    return Offset;
+  }
+
+  ElementT &operator()(const std::vector<int64_t> &MultiIndex) {
+    return Data[static_cast<size_t>(offsetOf(MultiIndex))];
+  }
+  ElementT operator()(const std::vector<int64_t> &MultiIndex) const {
+    return Data[static_cast<size_t>(offsetOf(MultiIndex))];
+  }
+
+  /// Fills with uniform values in [-1, 1) from the given generator.
+  void fillRandom(Rng &Generator) {
+    for (ElementT &V : Data)
+      V = static_cast<ElementT>(Generator.uniformReal(-1.0, 1.0));
+  }
+
+  /// Fills with 0, 1, 2, ... useful for layout-sensitive tests.
+  void fillSequential() {
+    for (size_t I = 0; I < Data.size(); ++I)
+      Data[I] = static_cast<ElementT>(I);
+  }
+
+  void fillZero() { std::fill(Data.begin(), Data.end(), ElementT(0)); }
+
+  /// Sum of all elements; a cheap checksum for cross-path comparisons.
+  double sum() const {
+    double Total = 0.0;
+    for (ElementT V : Data)
+      Total += static_cast<double>(V);
+    return Total;
+  }
+
+private:
+  std::vector<int64_t> Shape;
+  std::vector<int64_t> Strides;
+  std::vector<ElementT> Data;
+};
+
+/// Returns the largest absolute element-wise difference between two tensors
+/// of identical shape.
+template <typename ElementT>
+double maxAbsDifference(const Tensor<ElementT> &X, const Tensor<ElementT> &Y) {
+  assert(X.shape() == Y.shape() && "shape mismatch");
+  double Max = 0.0;
+  for (int64_t I = 0, E = X.numElements(); I < E; ++I)
+    Max = std::max(Max, std::abs(static_cast<double>(X.at(I)) -
+                                 static_cast<double>(Y.at(I))));
+  return Max;
+}
+
+/// Steps a multi-index through a shape in column-major (FVI-first) order.
+/// Returns false when iteration wraps past the final element.
+bool advanceOdometer(std::vector<int64_t> &MultiIndex,
+                     const std::vector<int64_t> &Shape);
+
+} // namespace tensor
+} // namespace cogent
+
+#endif // COGENT_TENSOR_TENSOR_H

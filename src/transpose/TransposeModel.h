@@ -1,0 +1,48 @@
+//===- transpose/TransposeModel.h - GPU transpose cost model ---------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Performance model of a cuTT-style GPU tensor transposition, used to cost
+/// the T steps of the TTGT baseline (TAL_SH links cuTT for exactly this).
+/// A transpose is bandwidth bound — every element is read once and written
+/// once — and its achievable bandwidth fraction is governed by the shorter
+/// of the source/destination contiguous runs (the classic shared-memory
+/// tiled-transpose coalescing argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_TRANSPOSE_TRANSPOSEMODEL_H
+#define COGENT_TRANSPOSE_TRANSPOSEMODEL_H
+
+#include "gpu/DeviceSpec.h"
+#include "gpu/PerfModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cogent {
+namespace transpose {
+
+/// Model output for one transposition.
+struct TransposeEstimate {
+  double TimeMs = 0.0;
+  double BytesMoved = 0.0;
+  /// Achieved fraction of the calibrated streaming bandwidth.
+  double Efficiency = 0.0;
+};
+
+/// Predicts the GPU cost of permuting a tensor of \p SrcShape (column-major)
+/// by \p Perm with \p ElementSize-byte elements.
+TransposeEstimate estimateTranspose(const gpu::DeviceSpec &Device,
+                                    const gpu::Calibration &Calib,
+                                    const std::vector<int64_t> &SrcShape,
+                                    const std::vector<unsigned> &Perm,
+                                    unsigned ElementSize);
+
+} // namespace transpose
+} // namespace cogent
+
+#endif // COGENT_TRANSPOSE_TRANSPOSEMODEL_H

@@ -1,0 +1,209 @@
+//===- tests/ShimHarness.cpp ----------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ShimHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace cogent;
+using namespace cogent::testsupport;
+using core::KernelPlan;
+using ir::Contraction;
+using ir::Operand;
+
+const char *cogent::testsupport::CudaShimHeader = R"shim(
+#ifndef COGENT_CUDA_SHIM_H
+#define COGENT_CUDA_SHIM_H
+#include <barrier>
+#include <thread>
+#include <vector>
+
+struct Dim3 { unsigned x = 1, y = 1, z = 1; };
+inline Dim3 blockIdx;                 // blocks run sequentially
+inline thread_local Dim3 threadIdx;   // one OS thread per CUDA thread
+inline Dim3 blockDim;
+inline Dim3 gridDim;
+inline std::barrier<> *cogentBarrier = nullptr;
+
+#define __global__
+#define __restrict__
+#define __shared__ static
+#define __syncthreads() cogentBarrier->arrive_and_wait()
+
+template <typename KernelT>
+void launchShim(unsigned GridX, unsigned BlockX, unsigned BlockY,
+                KernelT Kernel) {
+  blockDim.x = BlockX;
+  blockDim.y = BlockY;
+  gridDim.x = GridX;
+  std::barrier<> Barrier(static_cast<long>(BlockX) * BlockY);
+  cogentBarrier = &Barrier;
+  for (unsigned Blk = 0; Blk < GridX; ++Blk) {
+    blockIdx.x = Blk;
+    std::vector<std::thread> Threads;
+    for (unsigned Ty = 0; Ty < BlockY; ++Ty)
+      for (unsigned Tx = 0; Tx < BlockX; ++Tx)
+        Threads.emplace_back([=] {
+          threadIdx.x = Tx;
+          threadIdx.y = Ty;
+          Kernel();
+        });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+}
+#endif
+)shim";
+
+const char *cogent::testsupport::OpenClShimHeader = R"shim(
+#ifndef COGENT_CL_SHIM_H
+#define COGENT_CL_SHIM_H
+#include <barrier>
+#include <thread>
+#include <vector>
+
+inline unsigned shimGroupId;
+inline unsigned shimNumGroups = 1;
+inline thread_local unsigned shimLocalId0, shimLocalId1;
+inline std::barrier<> *clShimBarrier = nullptr;
+
+#define __kernel
+#define __global
+#define __local static
+#define restrict
+#define CLK_LOCAL_MEM_FENCE 0
+inline void barrier(int) { clShimBarrier->arrive_and_wait(); }
+inline unsigned get_local_id(unsigned Dim) {
+  return Dim == 0 ? shimLocalId0 : shimLocalId1;
+}
+inline unsigned get_group_id(unsigned) { return shimGroupId; }
+inline unsigned get_num_groups(unsigned) { return shimNumGroups; }
+
+template <typename KernelT>
+void launchShim(unsigned NumGroups, unsigned LocalX, unsigned LocalY,
+                KernelT Kernel) {
+  std::barrier<> Barrier(static_cast<long>(LocalX) * LocalY);
+  clShimBarrier = &Barrier;
+  shimNumGroups = NumGroups;
+  for (unsigned G = 0; G < NumGroups; ++G) {
+    shimGroupId = G;
+    std::vector<std::thread> Threads;
+    for (unsigned Ty = 0; Ty < LocalY; ++Ty)
+      for (unsigned Tx = 0; Tx < LocalX; ++Tx)
+        Threads.emplace_back([=] {
+          shimLocalId0 = Tx;
+          shimLocalId1 = Ty;
+          Kernel();
+        });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+}
+#endif
+)shim";
+
+std::string cogent::testsupport::emitHarnessMain(const Contraction &TC,
+                                                 const KernelPlan &Plan,
+                                                 const std::string &KernelName,
+                                                 int64_t LaunchGroups,
+                                                 bool OpenCl) {
+  std::vector<char> All = TC.allIndices();
+  std::ostringstream OS;
+  OS << "#include <cmath>\n#include <cstdio>\n#include <vector>\n";
+  OS << "int main() {\n";
+  OS << "  const int NumIdx = " << All.size() << ";\n";
+  auto arrayOf = [&](const char *Name, auto ValueOf) {
+    OS << "  const long long " << Name << "[] = {";
+    for (size_t I = 0; I < All.size(); ++I)
+      OS << (I ? ", " : "") << ValueOf(All[I]);
+    OS << "};\n";
+  };
+  arrayOf("Ext", [&](char N) { return TC.extent(N); });
+  arrayOf("StrA", [&](char N) {
+    return TC.contains(Operand::A, N) ? TC.strideIn(Operand::A, N) : 0;
+  });
+  arrayOf("StrB", [&](char N) {
+    return TC.contains(Operand::B, N) ? TC.strideIn(Operand::B, N) : 0;
+  });
+  arrayOf("StrC", [&](char N) {
+    return TC.contains(Operand::C, N) ? TC.strideIn(Operand::C, N) : 0;
+  });
+  OS << "  std::vector<double> A(" << TC.numElements(Operand::A) << "), B("
+     << TC.numElements(Operand::B) << ");\n";
+  OS << "  std::vector<double> C(" << TC.numElements(Operand::C)
+     << ", 0.0), Ref(" << TC.numElements(Operand::C) << ", 0.0);\n";
+  OS << "  unsigned long long S = 88172645463325252ULL;\n";
+  OS << "  auto next = [&]() { S ^= S << 13; S ^= S >> 7; S ^= S << 17;\n";
+  OS << "    return (double)(S % 2001) / 1000.0 - 1.0; };\n";
+  OS << "  for (double &V : A) V = next();\n";
+  OS << "  for (double &V : B) V = next();\n";
+  OS << "  long long Idx[NumIdx] = {};\n";
+  OS << "  for (;;) {\n";
+  OS << "    long long OffA = 0, OffB = 0, OffC = 0;\n";
+  OS << "    for (int I = 0; I < NumIdx; ++I) {\n";
+  OS << "      OffA += Idx[I] * StrA[I]; OffB += Idx[I] * StrB[I];\n";
+  OS << "      OffC += Idx[I] * StrC[I];\n";
+  OS << "    }\n";
+  OS << "    Ref[OffC] += A[OffA] * B[OffB];\n";
+  OS << "    int D = 0;\n";
+  OS << "    for (; D < NumIdx; ++D) { if (++Idx[D] < Ext[D]) break; "
+        "Idx[D] = 0; }\n";
+  OS << "    if (D == NumIdx) break;\n";
+  OS << "  }\n";
+  OS << "  launchShim("
+     << (LaunchGroups > 0 ? LaunchGroups : Plan.numBlocks()) << ", "
+     << Plan.tbX() << ", " << Plan.tbY() << ", [&] {\n";
+  OS << "    " << KernelName << "(C.data(), A.data(), B.data()";
+  for (char Name : All)
+    OS << ", " << TC.extent(Name);
+  OS << ");\n  });\n";
+  OS << "  double MaxDiff = 0.0;\n";
+  OS << "  for (size_t I = 0; I < C.size(); ++I)\n";
+  OS << "    MaxDiff = std::max(MaxDiff, std::fabs(C[I] - Ref[I]));\n";
+  OS << "  std::printf(\"maxdiff=%g\\n\", MaxDiff);\n";
+  OS << "  return MaxDiff < 1e-10 ? 0 : 1;\n";
+  OS << "}\n";
+  (void)OpenCl; // the harness text is dialect-independent
+  return OS.str();
+}
+
+int cogent::testsupport::compileAndRunKernel(
+    const Contraction &TC, const core::KernelConfig &Config,
+    const std::string &Tag, const core::CodeGenOptions &Options,
+    int64_t LaunchGroups, bool OpenCl) {
+  KernelPlan Plan(TC, Config);
+  core::GeneratedSource Source =
+      OpenCl ? emitOpenCl(Plan, Options) : emitCuda(Plan, Options);
+
+  std::string Dir = ::testing::TempDir() + "cogent_shim_" + Tag;
+  EXPECT_EQ(std::system(("mkdir -p " + Dir).c_str()), 0);
+  {
+    std::ofstream Shim(Dir + "/shim.h");
+    Shim << (OpenCl ? OpenClShimHeader : CudaShimHeader);
+  }
+  {
+    std::ofstream Main(Dir + "/main.cpp");
+    Main << "#include \"shim.h\"\n\n"
+         << Source.KernelSource << "\n"
+         << emitHarnessMain(TC, Plan, Source.KernelName, LaunchGroups,
+                            OpenCl);
+  }
+  std::string Compile = "g++ -std=c++20 -O1 -pthread -o " + Dir + "/run " +
+                        Dir + "/main.cpp 2> " + Dir + "/compile.log";
+  if (std::system(Compile.c_str()) != 0) {
+    std::ifstream Log(Dir + "/compile.log");
+    std::stringstream Buffer;
+    Buffer << Log.rdbuf();
+    ADD_FAILURE() << "generated source failed to compile:\n"
+                  << Buffer.str();
+    return -1;
+  }
+  return std::system((Dir + "/run > " + Dir + "/run.log").c_str());
+}

@@ -1,0 +1,57 @@
+//===- tests/ShimHarness.h - Shared compile-and-execute test support -------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the strongest validation in the suite: write the
+/// emitted CUDA/OpenCL source to disk with an execution-model shim (one OS
+/// thread per GPU thread, std::barrier for the block barrier), compile it
+/// with the host compiler, run it against a generic reference contraction,
+/// and report the child's exit status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_TESTS_SHIMHARNESS_H
+#define COGENT_TESTS_SHIMHARNESS_H
+
+#include "core/CodeGen.h"
+#include "core/KernelPlan.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cogent {
+namespace testsupport {
+
+/// The CUDA execution-model shim header text.
+extern const char *CudaShimHeader;
+
+/// The OpenCL execution-model shim header text.
+extern const char *OpenClShimHeader;
+
+/// Emits a standalone main(): deterministic inputs, generic stride-array
+/// reference, a launch of \p KernelName through the shim, comparison, and
+/// exit status 0 on agreement. \p LaunchGroups = 0 launches one block per
+/// output tile.
+std::string emitHarnessMain(const ir::Contraction &TC,
+                            const core::KernelPlan &Plan,
+                            const std::string &KernelName,
+                            int64_t LaunchGroups, bool OpenCl);
+
+/// Emits the kernel for \p Config with \p Options, writes shim + harness to
+/// a temp dir tagged \p Tag, compiles with g++ and runs. Returns the child
+/// exit code (0 == outputs matched); adds a gtest failure with the compile
+/// log when compilation fails and returns -1.
+int compileAndRunKernel(const ir::Contraction &TC,
+                        const core::KernelConfig &Config,
+                        const std::string &Tag,
+                        const core::CodeGenOptions &Options =
+                            core::CodeGenOptions(),
+                        int64_t LaunchGroups = 0, bool OpenCl = false);
+
+} // namespace testsupport
+} // namespace cogent
+
+#endif // COGENT_TESTS_SHIMHARNESS_H

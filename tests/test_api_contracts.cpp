@@ -1,0 +1,127 @@
+//===- tests/test_api_contracts.cpp - Public API contract tests ------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using core::Cogent;
+using core::CogentOptions;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+TEST(CogentApi, TopKZeroIsClampedToOne) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = *Contraction::parseUniform("ij-ik-kj", 512);
+  CogentOptions Options;
+  Options.TopK = 0;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_EQ(Result->Kernels.size(), 1u);
+}
+
+TEST(CogentApi, TopKLargerThanSurvivorsReturnsAll) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = *Contraction::parseUniform("ij-ik-kj", 512);
+  CogentOptions Options;
+  Options.TopK = 1000000;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_EQ(Result->Kernels.size(), Result->Stats.Survivors);
+}
+
+TEST(CogentApi, ElementSizePropagatesToEnumerationAndEmission) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = *Contraction::parseUniform("abcd-aebf-dfce", 72);
+  CogentOptions Sp;
+  Sp.ElementSize = 4;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Sp);
+  ASSERT_TRUE(Result.hasValue());
+  // Emitted type reflects the element size...
+  EXPECT_NE(Result->best().Source.KernelSource.find("float r_C"),
+            std::string::npos);
+  // ...and the hardware check used the 4-byte footprint.
+  EXPECT_LE(Result->best().Config.smemBytes(4),
+            static_cast<int64_t>(gpu::makeV100().SharedMemPerBlock));
+}
+
+TEST(CogentApi, ErrorMessagesAreActionable) {
+  Cogent Generator(gpu::makeV100());
+  ErrorOr<core::GenerationResult> Result =
+      Generator.generate("abcd-aebf", {{'a', 4}});
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_NE(Result.errorMessage().find("three"), std::string::npos);
+}
+
+TEST(CogentApi, DeviceIsObservable) {
+  Cogent Generator(gpu::makeP100());
+  EXPECT_EQ(Generator.device().Name, "P100");
+}
+
+TEST(CogentApi, StatsPrunedFractionInRange) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = *Contraction::parseUniform("abcdef-gdab-efgc", 16);
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_GE(Result->Stats.prunedFraction(), 0.0);
+  EXPECT_LE(Result->Stats.prunedFraction(), 1.0);
+}
+
+TEST(CogentApi, ExplainKernelCoversTheDecision) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = *Contraction::parseUniform("abcdef-gdab-efgc", 16);
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC);
+  ASSERT_TRUE(Result.hasValue());
+  std::string Report =
+      core::explainKernel(TC, Result->best(), Generator.device());
+  // One row per loop index with kind and reuse tensor.
+  for (char Name : TC.allIndices())
+    EXPECT_NE(Report.find(std::string("  ") + Name + "    "),
+              std::string::npos)
+        << Name;
+  EXPECT_NE(Report.find("internal"), std::string::npos);
+  EXPECT_NE(Report.find("occupancy"), std::string::npos);
+  EXPECT_NE(Report.find("roofline"), std::string::npos);
+  EXPECT_NE(Report.find("transactions"), std::string::npos);
+  EXPECT_NE(Report.find(Result->best().Config.toString()),
+            std::string::npos);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(ApiDeath, SimulatorRejectsMismatchedOperands) {
+  ir::Contraction TC = *Contraction::parseUniform("ij-ik-kj", 8);
+  core::KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'i', 8}};
+  Config.TBy = {{'j', 8}};
+  Config.TBk = {{'k', 8}};
+  core::KernelPlan Plan(TC, Config);
+  tensor::Tensor<double> C({8, 8}), A({8, 8}), BadB({4, 4});
+  EXPECT_DEATH(gpu::simulateKernel(Plan, C, A, BadB),
+               "operand sizes do not match");
+}
+
+TEST(ApiDeath, PlanRequiresValidConfig) {
+  ir::Contraction TC = *Contraction::parseUniform("ij-ik-kj", 8);
+  core::KernelConfig Bad;
+  Bad.XInput = Operand::A;
+  Bad.TBx = {{'j', 8}}; // TBx must start with the output FVI 'i'
+  EXPECT_DEATH(core::KernelPlan(TC, Bad), "bad config");
+}
+
+TEST(ApiDeath, TensorBoundsChecked) {
+  tensor::Tensor<double> T({2, 2});
+  EXPECT_DEATH((void)T.at(4), "out of range");
+}
+#endif
+
+} // namespace

@@ -1,0 +1,243 @@
+//===- tests/test_baselines.cpp - Baseline framework tests -----------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/NwchemGen.h"
+#include "baselines/TcTuner.h"
+#include "baselines/Ttgt.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using ir::Contraction;
+using ir::Operand;
+using tensor::Tensor;
+
+namespace {
+
+Contraction parse(const std::string &Spec, int64_t Extent) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform(Spec, Extent);
+  EXPECT_TRUE(TC.hasValue()) << Spec;
+  return *TC;
+}
+
+// --- TTGT ----------------------------------------------------------------
+
+TEST(TtgtPlan, Eq1Matricization) {
+  Contraction TC = parse("abcd-aebf-dfce", 8);
+  baselines::TtgtPlan Plan = baselines::planTtgt(TC);
+  // Externals of A = {a, b}, of B = {c, d}, internals = {e, f}.
+  EXPECT_EQ(Plan.M, 64);
+  EXPECT_EQ(Plan.N, 64);
+  EXPECT_EQ(Plan.K, 64);
+  // A = [a,e,b,f] -> TA = [a,b,e,f]: not identity.
+  EXPECT_FALSE(Plan.PermAIsIdentity);
+  EXPECT_EQ(Plan.PermA, (std::vector<unsigned>{0, 2, 1, 3}));
+  // MC = [a,b,c,d] == C: identity.
+  EXPECT_TRUE(Plan.PermCIsIdentity);
+}
+
+TEST(TtgtPlan, IdentityPipelinesDetected) {
+  // C[a,b,c,d] = A[e,a] * B[e,b,c,d]: TA needs [a,e] (swap), TB is already
+  // [e,b,c,d], MC == C.
+  Contraction TC = parse("abcd-ea-ebcd", 6);
+  baselines::TtgtPlan Plan = baselines::planTtgt(TC);
+  EXPECT_FALSE(Plan.PermAIsIdentity);
+  EXPECT_TRUE(Plan.PermBIsIdentity);
+  EXPECT_TRUE(Plan.PermCIsIdentity);
+  EXPECT_EQ(Plan.M, 6);
+  EXPECT_EQ(Plan.K, 6);
+  EXPECT_EQ(Plan.N, 216);
+}
+
+TEST(Ttgt, MatchesReferenceOnEq1) {
+  Contraction TC = parse("abcd-aebf-dfce", 6);
+  Rng Generator(21);
+  Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+  Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  Tensor<double> Expected = tensor::makeOperand<double>(TC, Operand::C);
+  tensor::contractReference(TC, Expected, A, B);
+  Tensor<double> Actual = tensor::makeOperand<double>(TC, Operand::C);
+  baselines::runTtgt(TC, Actual, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, Actual), 1e-10);
+}
+
+/// TTGT functional execution equals the reference on every suite entry at
+/// scaled sizes — including entries whose final permutation is non-trivial.
+class TtgtSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(TtgtSuite, MatchesReferenceScaled) {
+  const suite::SuiteEntry &Entry = suite::suiteEntry(GetParam());
+  Contraction TC = Entry.contractionScaled(5);
+  Rng Generator(100 + GetParam());
+  Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+  Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  Tensor<double> Expected = tensor::makeOperand<double>(TC, Operand::C);
+  tensor::contractReference(TC, Expected, A, B);
+  Tensor<double> Actual = tensor::makeOperand<double>(TC, Operand::C);
+  baselines::runTtgt(TC, Actual, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, Actual), 1e-10)
+      << Entry.Spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tccg, TtgtSuite, ::testing::Range(1, 49));
+
+TEST(Ttgt, FloatPath) {
+  Contraction TC = parse("abc-bda-dc", 5);
+  Rng Generator(3);
+  Tensor<float> A = tensor::makeOperand<float>(TC, Operand::A);
+  Tensor<float> B = tensor::makeOperand<float>(TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  Tensor<float> Expected = tensor::makeOperand<float>(TC, Operand::C);
+  tensor::contractReference(TC, Expected, A, B);
+  Tensor<float> Actual = tensor::makeOperand<float>(TC, Operand::C);
+  baselines::runTtgt(TC, Actual, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, Actual), 1e-3);
+}
+
+TEST(TtgtEstimate, AccountsForEveryStage) {
+  Contraction TC = parse("abcdef-gdab-efgc", 16); // sd2_1
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  baselines::TtgtEstimate Est = baselines::estimateTtgt(TC, Device, Calib, 8);
+  EXPECT_GT(Est.TransposeMs, 0.0);
+  EXPECT_GT(Est.GemmMs, 0.0);
+  EXPECT_GE(Est.TimeMs, Est.TransposeMs + Est.GemmMs);
+  EXPECT_GT(Est.Gflops, 0.0);
+  EXPECT_GT(Est.WorkspaceBytes, 0.0); // TTGT's extra temporary space
+  EXPECT_GE(Est.KernelLaunches, 3u);
+}
+
+TEST(TtgtEstimate, TransposeDominatedOnCcsdT) {
+  // The paper's central observation: on the 6D CCSD(T) contractions the
+  // transposition time dominates and TTGT collapses.
+  Contraction TC = parse("abcdef-gdab-efgc", 16);
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  baselines::TtgtEstimate Est = baselines::estimateTtgt(TC, Device, Calib, 8);
+  EXPECT_GT(Est.TransposeMs, Est.GemmMs);
+}
+
+TEST(TtgtEstimate, GemmDominatedOn4D4D4D) {
+  // ...while on 4D = 4D * 4D cases the GEMM dwarfs the transposes.
+  Contraction TC = parse("abcd-aebf-dfce", 72);
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  baselines::TtgtEstimate Est = baselines::estimateTtgt(TC, Device, Calib, 8);
+  EXPECT_GT(Est.GemmMs, Est.TransposeMs);
+}
+
+// --- NWChem-style generator ----------------------------------------------
+
+TEST(NwchemGen, ProducesValidConfigForWholeSuite) {
+  for (const suite::SuiteEntry &Entry : suite::tccgSuite()) {
+    Contraction TC = Entry.contraction();
+    core::KernelConfig Config = baselines::nwchemConfig(TC);
+    EXPECT_EQ(Config.validate(TC), "") << Entry.Spec;
+  }
+}
+
+TEST(NwchemGen, RespectsTargets) {
+  Contraction TC = parse("abcd-aebf-dfce", 72);
+  baselines::NwchemHeuristic Heuristic;
+  core::KernelConfig Config = baselines::nwchemConfig(TC, Heuristic);
+  EXPECT_LE(Config.tbxSize(), Heuristic.TBTarget);
+  EXPECT_LE(Config.tbySize(), Heuristic.TBTarget);
+  EXPECT_LE(Config.regXSize(), Heuristic.RegTarget);
+  EXPECT_LE(Config.regYSize(), Heuristic.RegTarget);
+  EXPECT_LE(Config.tbkSize(), Heuristic.TBkTarget);
+}
+
+TEST(NwchemGen, DeterministicHeuristic) {
+  Contraction TC = parse("abcdef-gdab-efgc", 16);
+  EXPECT_EQ(baselines::nwchemConfig(TC).toString(),
+            baselines::nwchemConfig(TC).toString());
+}
+
+TEST(NwchemGen, EstimatePositive) {
+  Contraction TC = parse("abcdef-gdab-efgc", 16);
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::PerfEstimate Est = baselines::estimateNwchem(
+      TC, Device, gpu::makeCalibration(Device), 8);
+  EXPECT_GT(Est.Gflops, 0.0);
+  EXPECT_LT(Est.Gflops, Device.PeakGflopsDouble);
+}
+
+// --- TC-style genetic tuner ----------------------------------------------
+
+TEST(TcTuner, BestCurveIsMonotone) {
+  Contraction TC = parse("abcdef-gdab-efgc", 16);
+  baselines::TcTunerOptions Options;
+  Options.PopulationSize = 20;
+  Options.Generations = 8;
+  baselines::TcTuneResult Result =
+      baselines::tuneTc(TC, gpu::makeV100(), Options);
+  ASSERT_EQ(Result.BestGflopsPerGeneration.size(), 8u);
+  for (size_t I = 1; I < Result.BestGflopsPerGeneration.size(); ++I)
+    EXPECT_GE(Result.BestGflopsPerGeneration[I],
+              Result.BestGflopsPerGeneration[I - 1]);
+  EXPECT_DOUBLE_EQ(Result.BestGflops,
+                   Result.BestGflopsPerGeneration.back());
+}
+
+TEST(TcTuner, TuningBeatsUntuned) {
+  Contraction TC = parse("abcdef-gdab-efgc", 16);
+  baselines::TcTunerOptions Options;
+  Options.PopulationSize = 30;
+  Options.Generations = 5;
+  baselines::TcTuneResult Result =
+      baselines::tuneTc(TC, gpu::makeV100(), Options);
+  EXPECT_GT(Result.BestGflops, Result.UntunedGflops);
+  // The untuned naive schedule runs at single-digit GFLOPS, as in Fig. 8.
+  EXPECT_LT(Result.UntunedGflops, 10.0);
+}
+
+TEST(TcTuner, BestConfigIsValid) {
+  Contraction TC = parse("abcd-aebf-dfce", 24);
+  baselines::TcTunerOptions Options;
+  Options.PopulationSize = 20;
+  Options.Generations = 5;
+  baselines::TcTuneResult Result =
+      baselines::tuneTc(TC, gpu::makeV100(), Options);
+  EXPECT_EQ(Result.BestConfig.validate(TC), "");
+}
+
+TEST(TcTuner, DeterministicBySeed) {
+  Contraction TC = parse("abcd-aebf-dfce", 24);
+  baselines::TcTunerOptions Options;
+  Options.PopulationSize = 15;
+  Options.Generations = 4;
+  baselines::TcTuneResult First =
+      baselines::tuneTc(TC, gpu::makeV100(), Options);
+  baselines::TcTuneResult Second =
+      baselines::tuneTc(TC, gpu::makeV100(), Options);
+  EXPECT_EQ(First.BestGflopsPerGeneration,
+            Second.BestGflopsPerGeneration);
+}
+
+TEST(TcTuner, ModeledTuningTimeScalesWithEvaluations) {
+  Contraction TC = parse("abcd-aebf-dfce", 24);
+  baselines::TcTunerOptions Options;
+  Options.PopulationSize = 10;
+  Options.Generations = 3;
+  Options.SecondsPerCandidate = 2.0;
+  baselines::TcTuneResult Result =
+      baselines::tuneTc(TC, gpu::makeV100(), Options);
+  EXPECT_DOUBLE_EQ(Result.ModeledTuningSeconds,
+                   2.0 * Result.CandidatesEvaluated);
+  // Population 10 evaluated up front, then 9 children per generation
+  // (elitism carries one forward) for two more generations.
+  EXPECT_EQ(Result.CandidatesEvaluated, 10u + 2u * 9u);
+}
+
+} // namespace

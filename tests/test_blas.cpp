@@ -1,0 +1,181 @@
+//===- tests/test_blas.cpp - GEMM substrate tests --------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blas/Gemm.h"
+#include "blas/GemmModel.h"
+
+#include "gpu/DeviceSpec.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace cogent;
+
+namespace {
+
+/// Naive oracle: column-major C = alpha A B + beta C.
+template <typename T>
+void gemmNaive(int64_t M, int64_t N, int64_t K, T Alpha, const T *A,
+               int64_t Lda, const T *B, int64_t Ldb, T Beta, T *C,
+               int64_t Ldc) {
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t I = 0; I < M; ++I) {
+      double Acc = 0;
+      for (int64_t Kk = 0; Kk < K; ++Kk)
+        Acc += static_cast<double>(A[I + Kk * Lda]) * B[Kk + J * Ldb];
+      C[I + J * Ldc] =
+          static_cast<T>(Alpha * Acc + Beta * C[I + J * Ldc]);
+    }
+}
+
+TEST(Gemm, HandComputed2x2) {
+  // A = [1 3; 2 4], B = [5 7; 6 8] (column-major).
+  std::vector<double> A = {1, 2, 3, 4}, B = {5, 6, 7, 8}, C(4, 0.0);
+  blas::gemm<double>(2, 2, 2, 1.0, A.data(), 2, B.data(), 2, 0.0, C.data(),
+                     2);
+  EXPECT_DOUBLE_EQ(C[0], 23);
+  EXPECT_DOUBLE_EQ(C[1], 34);
+  EXPECT_DOUBLE_EQ(C[2], 31);
+  EXPECT_DOUBLE_EQ(C[3], 46);
+}
+
+TEST(Gemm, BetaAccumulates) {
+  std::vector<double> A = {1, 0, 0, 1}, B = {1, 2, 3, 4}, C = {10, 20, 30, 40};
+  blas::gemm<double>(2, 2, 2, 1.0, A.data(), 2, B.data(), 2, 1.0, C.data(),
+                     2);
+  EXPECT_DOUBLE_EQ(C[0], 11);
+  EXPECT_DOUBLE_EQ(C[3], 44);
+}
+
+TEST(Gemm, AlphaScales) {
+  std::vector<double> A = {1, 0, 0, 1}, B = {1, 2, 3, 4}, C(4, 5.0);
+  blas::gemm<double>(2, 2, 2, 2.0, A.data(), 2, B.data(), 2, 0.0, C.data(),
+                     2);
+  EXPECT_DOUBLE_EQ(C[0], 2);
+  EXPECT_DOUBLE_EQ(C[1], 4);
+}
+
+TEST(Gemm, ZeroKOnlyScalesC) {
+  std::vector<double> C = {1, 2};
+  blas::gemm<double>(2, 1, 0, 1.0, nullptr, 2, nullptr, 1, 0.5, C.data(), 2);
+  EXPECT_DOUBLE_EQ(C[0], 0.5);
+  EXPECT_DOUBLE_EQ(C[1], 1.0);
+}
+
+TEST(Gemm, RespectsLeadingDimensions) {
+  // 2x2 data embedded in larger leading dimensions.
+  std::vector<double> A(3 * 2, -1), B(4 * 2, -1), C(5 * 2, 0.0);
+  A[0] = 1;
+  A[1] = 2;
+  A[3] = 3;
+  A[4] = 4; // Lda = 3
+  B[0] = 5;
+  B[1] = 6;
+  B[4] = 7;
+  B[5] = 8; // Ldb = 4
+  blas::gemm<double>(2, 2, 2, 1.0, A.data(), 3, B.data(), 4, 0.0, C.data(),
+                     5);
+  EXPECT_DOUBLE_EQ(C[0], 23);
+  EXPECT_DOUBLE_EQ(C[1], 34);
+  EXPECT_DOUBLE_EQ(C[5], 31);
+  EXPECT_DOUBLE_EQ(C[6], 46);
+}
+
+/// Property sweep: blocked GEMM equals the oracle across random shapes that
+/// straddle the 64-element block boundaries.
+class GemmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmProperty, MatchesNaive) {
+  Rng Generator(GetParam());
+  int64_t M = Generator.uniformInt(1, 130);
+  int64_t N = Generator.uniformInt(1, 130);
+  int64_t K = Generator.uniformInt(1, 130);
+  double Alpha = Generator.flip() ? 1.0 : -0.5;
+  double Beta = Generator.flip() ? 0.0 : 2.0;
+
+  std::vector<double> A(static_cast<size_t>(M * K));
+  std::vector<double> B(static_cast<size_t>(K * N));
+  std::vector<double> C(static_cast<size_t>(M * N));
+  for (double &V : A)
+    V = Generator.uniformReal(-1, 1);
+  for (double &V : B)
+    V = Generator.uniformReal(-1, 1);
+  for (double &V : C)
+    V = Generator.uniformReal(-1, 1);
+  std::vector<double> Expected = C;
+
+  blas::gemm<double>(M, N, K, Alpha, A.data(), M, B.data(), K, Beta,
+                     C.data(), M);
+  gemmNaive<double>(M, N, K, Alpha, A.data(), M, B.data(), K, Beta,
+                    Expected.data(), M);
+  double MaxDiff = 0;
+  for (size_t I = 0; I < C.size(); ++I)
+    MaxDiff = std::max(MaxDiff, std::abs(C[I] - Expected[I]));
+  EXPECT_LT(MaxDiff, 1e-10) << "M=" << M << " N=" << N << " K=" << K;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, GemmProperty, ::testing::Range(0, 25));
+
+TEST(Gemm, FloatInstantiation) {
+  std::vector<float> A = {1, 2, 3, 4}, B = {5, 6, 7, 8}, C(4, 0.0f);
+  blas::gemm<float>(2, 2, 2, 1.0f, A.data(), 2, B.data(), 2, 0.0f, C.data(),
+                    2);
+  EXPECT_FLOAT_EQ(C[0], 23.0f);
+}
+
+// --- performance model ---------------------------------------------------
+
+TEST(GemmModel, SquareBeatsSkinnyK) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  blas::GemmEstimate Square =
+      blas::estimateGemm(Device, Calib, 4096, 4096, 4096, 8);
+  blas::GemmEstimate SkinnyK =
+      blas::estimateGemm(Device, Calib, 4096, 4096, 16, 8);
+  EXPECT_GT(Square.EfficiencyVsPeak, SkinnyK.EfficiencyVsPeak);
+}
+
+TEST(GemmModel, LargeSquareNearsPeak) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  blas::GemmEstimate Est =
+      blas::estimateGemm(Device, Calib, 8192, 8192, 8192, 8);
+  EXPECT_GT(Est.EfficiencyVsPeak, 0.6);
+  EXPECT_LT(Est.EfficiencyVsPeak, 1.0);
+}
+
+TEST(GemmModel, TileQuantizationPenalty) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  // 129 rows wastes nearly half of the second 128-row tile.
+  blas::GemmEstimate Aligned =
+      blas::estimateGemm(Device, Calib, 4096, 4096, 1024, 8);
+  blas::GemmEstimate Ragged =
+      blas::estimateGemm(Device, Calib, 4096 + 1, 4096, 1024, 8);
+  EXPECT_GE(Aligned.Gflops, Ragged.Gflops);
+}
+
+TEST(GemmModel, SinglePrecisionFaster) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  blas::GemmEstimate Dp = blas::estimateGemm(Device, Calib, 4096, 4096,
+                                             4096, 8);
+  blas::GemmEstimate Sp = blas::estimateGemm(Device, Calib, 4096, 4096,
+                                             4096, 4);
+  EXPECT_GT(Sp.Gflops, Dp.Gflops);
+}
+
+TEST(GemmModel, TinyProblemDominatedByLaunch) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  blas::GemmEstimate Est = blas::estimateGemm(Device, Calib, 8, 8, 8, 8);
+  EXPECT_GE(Est.TimeMs, Device.KernelLaunchOverheadUs * 1e-3);
+  EXPECT_LT(Est.EfficiencyVsPeak, 0.01);
+}
+
+} // namespace

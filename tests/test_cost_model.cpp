@@ -1,0 +1,240 @@
+//===- tests/test_cost_model.cpp - Algorithm-3 cost-model tests ------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CostModel.h"
+#include "core/Enumerator.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using core::KernelConfig;
+using core::KernelPlan;
+using core::TransactionCost;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+Contraction eq1(int64_t Extent = 16) {
+  ErrorOr<Contraction> TC =
+      Contraction::parseUniform("abcd-aebf-dfce", Extent);
+  EXPECT_TRUE(TC.hasValue());
+  return *TC;
+}
+
+TEST(CostModel, FullyCoalescedMatrixHandComputed) {
+  // 64x64 GEMM, 16x16 block, TBk 16: every load/store is a full 128-byte
+  // transaction of 16 doubles.
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-ik-kj", 64);
+  ASSERT_TRUE(TC.hasValue());
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'i', 16}};
+  Config.TBy = {{'j', 16}};
+  Config.TBk = {{'k', 16}};
+  KernelPlan Plan(*TC, Config);
+
+  TransactionCost Cost = core::estimateTransactions(Plan, 8);
+  // Grid: 4*4 = 16 blocks; steps: 4.
+  // A slice: 16 (i) * 16 (k) = 256 elements; contiguous run = 16 -> 16
+  // transactions per slice -> 16 * 4 * 16 = 1024.
+  EXPECT_DOUBLE_EQ(Cost.LoadA, 1024.0);
+  EXPECT_DOUBLE_EQ(Cost.LoadB, 1024.0);
+  // C slice 256 elements, run 16 -> 16 transactions * 16 blocks = 256.
+  EXPECT_DOUBLE_EQ(Cost.StoreC, 256.0);
+  EXPECT_DOUBLE_EQ(Cost.total(), 2304.0);
+}
+
+TEST(CostModel, UncoalescedTileOnePaysPerElement) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-ik-kj", 64);
+  ASSERT_TRUE(TC.hasValue());
+  KernelConfig Coalesced;
+  Coalesced.XInput = Operand::A;
+  Coalesced.TBx = {{'i', 16}};
+  Coalesced.TBy = {{'j', 16}};
+  Coalesced.TBk = {{'k', 16}};
+  KernelConfig Uncoalesced = Coalesced;
+  Uncoalesced.TBx = {{'i', 1}};
+  double Good =
+      core::estimateTransactions(KernelPlan(*TC, Coalesced), 8).total();
+  double Bad =
+      core::estimateTransactions(KernelPlan(*TC, Uncoalesced), 8).total();
+  EXPECT_GT(Bad, Good);
+}
+
+TEST(CostModel, SinglePrecisionPacksMorePerTransaction) {
+  Contraction TC = eq1(16);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 16}};
+  Config.TBy = {{'c', 16}};
+  Config.RegX = {{'b', 4}};
+  Config.RegY = {{'d', 4}};
+  Config.TBk = {{'e', 16}};
+  KernelPlan Plan(TC, Config);
+  double Dp = core::estimateTransactions(Plan, 8).total();
+  double Sp = core::estimateTransactions(Plan, 4).total();
+  EXPECT_LT(Sp, Dp);
+}
+
+TEST(CostModel, ProfileFieldsPopulated) {
+  Contraction TC = eq1(16);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 16}};
+  Config.TBy = {{'c', 16}};
+  Config.RegX = {{'b', 4}};
+  Config.RegY = {{'d', 4}};
+  Config.TBk = {{'e', 16}};
+  KernelPlan Plan(TC, Config);
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::KernelProfile Profile = core::makeKernelProfile(Plan, Device, 8);
+  EXPECT_DOUBLE_EQ(Profile.Flops, TC.flopCount());
+  EXPECT_GT(Profile.DramBytes, 0.0);
+  EXPECT_GT(Profile.SmemBytes, 0.0);
+  EXPECT_GT(Profile.Occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(Profile.RegisterTileFlops, 16.0);
+  EXPECT_EQ(Profile.ElementSize, 8u);
+}
+
+TEST(CostModel, DramBytesAtLeastCompulsoryForGoodConfig) {
+  Contraction TC = eq1(16);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 16}};
+  Config.TBy = {{'c', 16}};
+  Config.RegX = {{'b', 4}};
+  Config.RegY = {{'d', 4}};
+  Config.TBk = {{'e', 16}, {'f', 16}};
+  KernelPlan Plan(TC, Config);
+  gpu::KernelProfile Profile =
+      core::makeKernelProfile(Plan, gpu::makeV100(), 8);
+  EXPECT_GE(Profile.DramBytes, TC.numElements(Operand::C) * 8.0);
+}
+
+TEST(CostModel, OccupancyMatchesCalculator) {
+  Contraction TC = eq1(16);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 16}};
+  Config.TBy = {{'c', 16}};
+  Config.TBk = {{'e', 8}};
+  KernelPlan Plan(TC, Config);
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::OccupancyResult Occ = core::planOccupancy(Plan, Device, 8);
+  gpu::BlockResources Block;
+  Block.ThreadsPerBlock = 256;
+  Block.SharedMemBytes = static_cast<unsigned>(Config.smemBytes(8));
+  Block.RegistersPerThread = Config.registersPerThread(8);
+  EXPECT_DOUBLE_EQ(Occ.Occupancy,
+                   gpu::computeOccupancy(Device, Block).Occupancy);
+}
+
+TEST(CostModel, PaperLiteralFormulationAgreesOnCoalescedGemm) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-ik-kj", 64);
+  ASSERT_TRUE(TC.hasValue());
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'i', 16}};
+  Config.TBy = {{'j', 16}};
+  Config.TBk = {{'k', 16}};
+  KernelPlan Plan(*TC, Config);
+  TransactionCost Ours = core::estimateTransactions(Plan, 8);
+  TransactionCost Paper = core::estimateTransactionsPaper(Plan, 8);
+  EXPECT_DOUBLE_EQ(Ours.LoadA, Paper.LoadA);
+  EXPECT_DOUBLE_EQ(Ours.LoadB, Paper.LoadB);
+  EXPECT_DOUBLE_EQ(Ours.StoreC, Paper.StoreC);
+}
+
+TEST(CostModel, PaperLiteralTracksGeneralizedModel) {
+  // Across enumerated configurations the two formulations stay within a
+  // small factor and preserve each other's ordering tendencies.
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abcd-aebf-dfce", 32);
+  ASSERT_TRUE(TC.hasValue());
+  core::EnumerationOptions Options;
+  Options.MinThreadBlocks = 1;
+  Options.MinOccupancy = 0.0;
+  core::Enumerator Enum(*TC, gpu::makeV100(), Options);
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  size_t Stride = std::max<size_t>(1, Configs.size() / 20);
+  for (size_t I = 0; I < Configs.size(); I += Stride) {
+    KernelPlan Plan(*TC, Configs[I]);
+    double Ours = core::estimateTransactions(Plan, 8).total();
+    double Paper = core::estimateTransactionsPaper(Plan, 8).total();
+    EXPECT_GT(Paper, 0.0);
+    EXPECT_LT(Ours / Paper, 3.0) << Configs[I].toString();
+    EXPECT_GT(Ours / Paper, 1.0 / 3.0) << Configs[I].toString();
+  }
+}
+
+TEST(CostModel, StagingLayoutIsConflictFreeByConstruction) {
+  // KernelPlan lays shared memory out with thread-varying dimensions
+  // fastest, so the compute phase's staging reads are stride-1 per lane
+  // (or broadcast): the modeled bank-conflict factor must be exactly 1
+  // for every enumerated configuration.
+  for (const char *Spec :
+       {"abcd-aebf-dfce", "ij-ik-kj", "abcdef-gdab-efgc", "abc-bda-dc"}) {
+    ErrorOr<Contraction> TC = Contraction::parseUniform(Spec, 16);
+    ASSERT_TRUE(TC.hasValue());
+    core::EnumerationOptions Options;
+    Options.MinThreadBlocks = 1;
+    Options.MinOccupancy = 0.0;
+    core::Enumerator Enum(*TC, gpu::makeV100(), Options);
+    std::vector<KernelConfig> Configs = Enum.enumerate();
+    size_t Stride = std::max<size_t>(1, Configs.size() / 10);
+    for (size_t I = 0; I < Configs.size(); I += Stride) {
+      KernelPlan Plan(*TC, Configs[I]);
+      EXPECT_DOUBLE_EQ(core::smemBankConflictFactor(Plan), 1.0)
+          << Spec << " " << Configs[I].toString();
+    }
+  }
+}
+
+/// Property: the analytic Algorithm-3 estimate stays within a small factor
+/// of the simulator's exact transaction count across enumerated configs.
+class CostVsSimulator : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CostVsSimulator, WithinFactorTwo) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform(GetParam(), 8);
+  ASSERT_TRUE(TC.hasValue());
+  gpu::DeviceSpec Device = gpu::makeV100();
+  core::EnumerationOptions Options;
+  Options.MinThreadBlocks = 1;
+  Options.MinOccupancy = 0.0;
+  core::Enumerator Enum(*TC, Device, Options);
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  ASSERT_FALSE(Configs.empty());
+
+  Rng Generator(5);
+  tensor::Tensor<double> A = tensor::makeOperand<double>(*TC, Operand::A);
+  tensor::Tensor<double> B = tensor::makeOperand<double>(*TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  tensor::Tensor<double> C = tensor::makeOperand<double>(*TC, Operand::C);
+
+  size_t Stride = std::max<size_t>(1, Configs.size() / 12);
+  for (size_t I = 0; I < Configs.size(); I += Stride) {
+    KernelPlan Plan(*TC, Configs[I]);
+    double Estimated = core::estimateTransactions(Plan, 8).total();
+    gpu::SimResult Sim = gpu::simulateKernel(Plan, C, A, B);
+    double Exact = static_cast<double>(Sim.totalTransactions());
+    EXPECT_GT(Estimated, 0.0);
+    EXPECT_GT(Exact, 0.0);
+    EXPECT_LT(Estimated / Exact, 2.5) << Configs[I].toString();
+    EXPECT_GT(Estimated / Exact, 0.4) << Configs[I].toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contractions, CostVsSimulator,
+                         ::testing::Values("abcd-aebf-dfce", "ij-ik-kj",
+                                           "abc-bda-dc", "abcd-ebcd-ea",
+                                           "ab-acd-dbc"));
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/test_edge_cases.cpp - Degenerate and adversarial inputs -------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "core/Enumerator.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace cogent;
+using core::KernelConfig;
+using core::KernelPlan;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+void expectGenerateAndSimulate(const Contraction &TC) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  core::Cogent Generator(Device);
+  core::CogentOptions Options;
+  Options.Enumeration.MinThreadBlocks = 1;
+  Options.Enumeration.MinOccupancy = 0.0;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+  ASSERT_TRUE(Result.hasValue()) << TC.toString();
+
+  KernelPlan Plan(TC, Result->best().Config);
+  Rng Generator2(1);
+  tensor::Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+  tensor::Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+  A.fillRandom(Generator2);
+  B.fillRandom(Generator2);
+  tensor::Tensor<double> Expected = tensor::makeOperand<double>(TC, Operand::C);
+  tensor::contractReference(TC, Expected, A, B);
+  tensor::Tensor<double> Actual = tensor::makeOperand<double>(TC, Operand::C);
+  gpu::simulateKernel(Plan, Actual, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, Actual), 1e-10)
+      << TC.toString() << " via " << Result->best().Config.toString();
+}
+
+TEST(EdgeCases, ExtentOneIndices) {
+  ErrorOr<Contraction> TC = Contraction::parse(
+      "abcd-aebf-dfce",
+      {{'a', 1}, {'b', 4}, {'c', 1}, {'d', 3}, {'e', 1}, {'f', 2}});
+  ASSERT_TRUE(TC.hasValue());
+  expectGenerateAndSimulate(*TC);
+}
+
+TEST(EdgeCases, AllExtentsOne) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-ik-kj", 1);
+  ASSERT_TRUE(TC.hasValue());
+  expectGenerateAndSimulate(*TC);
+}
+
+TEST(EdgeCases, MatrixVectorProduct) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("i-ik-k", 33);
+  ASSERT_TRUE(TC.hasValue());
+  expectGenerateAndSimulate(*TC);
+}
+
+TEST(EdgeCases, VectorOutputFromB) {
+  // Output is 1D and its only index lives in B.
+  ErrorOr<Contraction> TC = Contraction::parseUniform("i-k-ki", 17);
+  ASSERT_TRUE(TC.hasValue());
+  expectGenerateAndSimulate(*TC);
+}
+
+TEST(EdgeCases, EightDimensionalOutput) {
+  // 8D = 5D * 7D with two contraction indices, tiny extents.
+  ErrorOr<Contraction> TC =
+      Contraction::parseUniform("abcdefgh-aicbj-jdefgih", 2);
+  ASSERT_TRUE(TC.hasValue());
+  EXPECT_EQ(TC->rank(Operand::C), 8u);
+  expectGenerateAndSimulate(*TC);
+}
+
+TEST(EdgeCases, PrimeExtentsNeverDivideTiles) {
+  ErrorOr<Contraction> TC = Contraction::parse(
+      "abcd-aebf-dfce",
+      {{'a', 13}, {'b', 7}, {'c', 11}, {'d', 5}, {'e', 3}, {'f', 17}});
+  ASSERT_TRUE(TC.hasValue());
+  expectGenerateAndSimulate(*TC);
+}
+
+TEST(EdgeCases, ParserFuzzNeverCrashes) {
+  Rng Generator(0xf022);
+  const char Alphabet[] = "abcxyz-Z1 .";
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    std::string Input;
+    int Length = static_cast<int>(Generator.uniformInt(0, 18));
+    for (int I = 0; I < Length; ++I)
+      Input += Alphabet[Generator.uniformInt(0, sizeof(Alphabet) - 2)];
+    ErrorOr<Contraction> TC = Contraction::parseUniform(Input, 4);
+    if (TC.hasValue())
+      EXPECT_FALSE(TC->indices(Operand::C).empty());
+    else
+      EXPECT_FALSE(TC.errorMessage().empty());
+  }
+}
+
+TEST(EdgeCases, SimulatorAltWarpAndTransactionSizes) {
+  // Numerics are independent of the counting granularity; counts are not.
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abcd-aebf-dfce", 6);
+  ASSERT_TRUE(TC.hasValue());
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 4}};
+  Config.TBy = {{'c', 4}};
+  Config.RegX = {{'b', 2}};
+  Config.RegY = {{'d', 2}};
+  Config.TBk = {{'e', 3}};
+  KernelPlan Plan(*TC, Config);
+
+  Rng Generator(8);
+  tensor::Tensor<double> A = tensor::makeOperand<double>(*TC, Operand::A);
+  tensor::Tensor<double> B = tensor::makeOperand<double>(*TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  tensor::Tensor<double> Expected =
+      tensor::makeOperand<double>(*TC, Operand::C);
+  tensor::contractReference(*TC, Expected, A, B);
+
+  gpu::SimOptions Narrow;
+  Narrow.TransactionBytes = 32;
+  Narrow.WarpSize = 8;
+  tensor::Tensor<double> OutNarrow =
+      tensor::makeOperand<double>(*TC, Operand::C);
+  gpu::SimResult SimNarrow = gpu::simulateKernel(Plan, OutNarrow, A, B, Narrow);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, OutNarrow), 1e-10);
+
+  gpu::SimOptions Wide; // defaults: 128 B, warp 32
+  tensor::Tensor<double> OutWide =
+      tensor::makeOperand<double>(*TC, Operand::C);
+  gpu::SimResult SimWide = gpu::simulateKernel(Plan, OutWide, A, B, Wide);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, OutWide), 1e-10);
+
+  // Smaller transactions mean at least as many of them.
+  EXPECT_GE(SimNarrow.totalTransactions(), SimWide.totalTransactions());
+}
+
+TEST(EdgeCases, ClampedToShrinksOversizedTiles) {
+  ErrorOr<Contraction> Big = Contraction::parseUniform("ij-ik-kj", 64);
+  ErrorOr<Contraction> Small = Contraction::parseUniform("ij-ik-kj", 5);
+  ASSERT_TRUE(Big.hasValue() && Small.hasValue());
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'i', 16}};
+  Config.TBy = {{'j', 16}};
+  Config.TBk = {{'k', 16}};
+  ASSERT_EQ(Config.validate(*Big), "");
+  EXPECT_NE(Config.validate(*Small), ""); // tiles exceed extents
+  KernelConfig Clamped = Config.clampedTo(*Small);
+  EXPECT_EQ(Clamped.validate(*Small), "");
+  EXPECT_EQ(Clamped.tbxSize(), 5);
+  // Clamping never touches a config that already fits.
+  EXPECT_EQ(Config.clampedTo(*Big).toString(), Config.toString());
+}
+
+TEST(EdgeCases, LopsidedExtents) {
+  // One huge index, the rest tiny: stresses grid decomposition.
+  ErrorOr<Contraction> TC = Contraction::parse(
+      "ab-acd-dbc", {{'a', 200}, {'b', 2}, {'c', 2}, {'d', 3}});
+  ASSERT_TRUE(TC.hasValue());
+  expectGenerateAndSimulate(*TC);
+}
+
+TEST(EdgeCases, CliSmokeTest) {
+  // Drive the example CLI end to end when the binary is reachable.
+  std::string Cli = "../examples/cogent_cli";
+  if (std::system(("test -x " + Cli).c_str()) != 0)
+    GTEST_SKIP() << "cogent_cli binary not found relative to test dir";
+  EXPECT_EQ(std::system((Cli + " abcd-aebf-dfce 24 > /dev/null 2>&1").c_str()),
+            0);
+  // Malformed input must fail with a nonzero exit.
+  EXPECT_NE(std::system((Cli + " abcd-aebf 24 > /dev/null 2>&1").c_str()), 0);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/test_enumerator.cpp - Algorithm-2 enumeration tests -----------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerator.h"
+#include "core/KernelPlan.h"
+#include "suite/TccgSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cogent;
+using core::EnumerationOptions;
+using core::EnumerationStats;
+using core::Enumerator;
+using core::KernelConfig;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+Contraction eq1(int64_t Extent = 72) {
+  ErrorOr<Contraction> TC =
+      Contraction::parseUniform("abcd-aebf-dfce", Extent);
+  EXPECT_TRUE(TC.hasValue());
+  return *TC;
+}
+
+TEST(Enumerator, ProducesOnlyValidConfigs) {
+  Contraction TC = eq1();
+  gpu::DeviceSpec Device = gpu::makeV100();
+  Enumerator Enum(TC, Device);
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  ASSERT_FALSE(Configs.empty());
+  for (const KernelConfig &Config : Configs)
+    EXPECT_EQ(Config.validate(TC), "") << Config.toString();
+}
+
+TEST(Enumerator, RespectsHardwareLimits) {
+  Contraction TC = eq1();
+  gpu::DeviceSpec Device = gpu::makeV100();
+  EnumerationOptions Options;
+  Enumerator Enum(TC, Device, Options);
+  for (const KernelConfig &Config : Enum.enumerate()) {
+    EXPECT_LE(Config.threadsPerBlock(), Device.MaxThreadsPerBlock);
+    EXPECT_LE(Config.smemBytes(8),
+              static_cast<int64_t>(Device.SharedMemPerBlock));
+    EXPECT_LE(Config.registersPerThread(8), Device.MaxRegistersPerThread);
+  }
+}
+
+TEST(Enumerator, TBxAlwaysLedByOutputFvi) {
+  Contraction TC = eq1();
+  Enumerator Enum(TC, gpu::makeV100());
+  for (const KernelConfig &Config : Enum.enumerate()) {
+    ASSERT_FALSE(Config.TBx.empty());
+    EXPECT_EQ(Config.TBx.front().Name, 'a');
+  }
+}
+
+TEST(Enumerator, FviConstraintHolds) {
+  // ccsd_10: both input FVIs are internal (e in A, f in B); with the FVI
+  // rule enabled every config must stage them in TBk.
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abcd-eafd-fbec", 72);
+  ASSERT_TRUE(TC.hasValue());
+  EnumerationOptions Options;
+  Options.EnforceFviConstraints = true;
+  Enumerator Enum(*TC, gpu::makeV100(), Options);
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  ASSERT_FALSE(Configs.empty());
+  for (const KernelConfig &Config : Configs) {
+    auto inTbk = [&](char Name) {
+      for (const core::IndexTile &T : Config.TBk)
+        if (T.Name == Name)
+          return true;
+      return false;
+    };
+    EXPECT_TRUE(inTbk('e')) << Config.toString();
+    EXPECT_TRUE(inTbk('f')) << Config.toString();
+  }
+}
+
+TEST(Enumerator, MinBlocksConstraintHolds) {
+  Contraction TC = eq1();
+  gpu::DeviceSpec Device = gpu::makeV100();
+  EnumerationOptions Options;
+  Options.MinThreadBlocks = 500;
+  Enumerator Enum(TC, Device, Options);
+  for (const KernelConfig &Config : Enum.enumerate())
+    EXPECT_GE(Config.numThreadBlocks(TC), 500);
+}
+
+TEST(Enumerator, DisablingConstraintsGrowsTheSpace) {
+  Contraction TC = eq1();
+  gpu::DeviceSpec Device = gpu::makeV100();
+  EnumerationOptions Strict;
+  EnumerationOptions Loose;
+  Loose.EnforceFviConstraints = false;
+  Loose.EnforceMinBlocks = false;
+  Loose.MinOccupancy = 0.0;
+  size_t StrictCount = Enumerator(TC, Device, Strict).enumerate().size();
+  size_t LooseCount = Enumerator(TC, Device, Loose).enumerate().size();
+  EXPECT_GE(LooseCount, StrictCount);
+}
+
+TEST(Enumerator, StatsAreConsistent) {
+  Contraction TC = eq1();
+  Enumerator Enum(TC, gpu::makeV100());
+  EnumerationStats Stats;
+  std::vector<KernelConfig> Configs = Enum.enumerate(&Stats);
+  EXPECT_EQ(Stats.Survivors, Configs.size());
+  EXPECT_EQ(Stats.RawConfigs, Stats.InvalidConfigs + Stats.HardwarePruned +
+                                  Stats.PerformancePruned + Stats.Survivors);
+  EXPECT_GT(Stats.prunedFraction(), 0.0);
+  EXPECT_LT(Stats.prunedFraction(), 1.0);
+}
+
+TEST(Enumerator, Deterministic) {
+  Contraction TC = eq1();
+  Enumerator Enum(TC, gpu::makeV100());
+  std::vector<KernelConfig> First = Enum.enumerate();
+  std::vector<KernelConfig> Second = Enum.enumerate();
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_EQ(First[I].toString(), Second[I].toString());
+}
+
+TEST(Enumerator, NoDuplicateConfigs) {
+  Contraction TC = eq1();
+  Enumerator Enum(TC, gpu::makeV100());
+  std::set<std::string> Seen;
+  for (const KernelConfig &Config : Enum.enumerate())
+    EXPECT_TRUE(Seen.insert(Config.toString()).second)
+        << "duplicate " << Config.toString();
+}
+
+TEST(Enumerator, TinyProblemRelaxesInsteadOfFailing) {
+  // A 4x4 GEMM cannot satisfy the minimum-thread-block rule; relaxation
+  // must still return something runnable.
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-ik-kj", 4);
+  ASSERT_TRUE(TC.hasValue());
+  Enumerator Enum(*TC, gpu::makeV100());
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  EXPECT_FALSE(Configs.empty());
+}
+
+TEST(Enumerator, OutputFviInBSwapsSides) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abcd-ebcd-ea", 72);
+  ASSERT_TRUE(TC.hasValue());
+  Enumerator Enum(*TC, gpu::makeV100());
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  ASSERT_FALSE(Configs.empty());
+  for (const KernelConfig &Config : Configs)
+    EXPECT_EQ(Config.XInput, Operand::B);
+}
+
+TEST(Enumerator, HandlesContractionWithoutInternals) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-i-j", 128);
+  ASSERT_TRUE(TC.hasValue());
+  Enumerator Enum(*TC, gpu::makeV100());
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  ASSERT_FALSE(Configs.empty());
+  for (const KernelConfig &Config : Configs)
+    EXPECT_TRUE(Config.TBk.empty());
+}
+
+TEST(Enumerator, NaiveSearchSpaceMatchesPaper) {
+  // §IV: Eq. 1 has (4^4 x 2) x 6^5 = 3,981,312 naive configurations.
+  EXPECT_DOUBLE_EQ(Enumerator::naiveSearchSpace(eq1()), 3981312.0);
+}
+
+TEST(Enumerator, PrunedFractionSubstantial) {
+  // The paper prunes ~97% of configurations; our domain-restricted raw set
+  // is already tight, but pruning must still bite on big contractions.
+  ir::Contraction TC = suite::suiteEntry(40).contraction(); // sd1_1
+  Enumerator Enum(TC, gpu::makeV100());
+  EnumerationStats Stats;
+  Enum.enumerate(&Stats);
+  EXPECT_GT(Stats.prunedFraction(), 0.25);
+}
+
+/// Sweep: enumeration succeeds and yields valid configs for every suite
+/// entry on both devices.
+class EnumerateSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumerateSuite, EveryEntryEnumerable) {
+  ir::Contraction TC = suite::suiteEntry(GetParam()).contraction();
+  for (const gpu::DeviceSpec &Device : {gpu::makeP100(), gpu::makeV100()}) {
+    Enumerator Enum(TC, Device);
+    std::vector<KernelConfig> Configs = Enum.enumerate();
+    ASSERT_FALSE(Configs.empty()) << TC.toString();
+    // Spot-check structural validity of a few.
+    size_t Stride = std::max<size_t>(1, Configs.size() / 8);
+    for (size_t I = 0; I < Configs.size(); I += Stride)
+      EXPECT_EQ(Configs[I].validate(TC), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tccg, EnumerateSuite, ::testing::Range(1, 49));
+
+} // namespace

@@ -1,0 +1,211 @@
+//===- tests/test_gpu_model.cpp - Machine-model tests ----------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/DeviceSpec.h"
+#include "gpu/Occupancy.h"
+#include "gpu/PerfModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cogent;
+using namespace cogent::gpu;
+
+namespace {
+
+TEST(DeviceSpec, P100Parameters) {
+  DeviceSpec Device = makeP100();
+  EXPECT_EQ(Device.Name, "P100");
+  EXPECT_EQ(Device.NumSMs, 56u);
+  EXPECT_EQ(Device.SharedMemPerBlock, 48u * 1024);
+  EXPECT_EQ(Device.TransactionBytes, 128u);
+  EXPECT_EQ(Device.maxWarpsPerSM(), 64u);
+}
+
+TEST(DeviceSpec, V100Parameters) {
+  DeviceSpec Device = makeV100();
+  EXPECT_EQ(Device.NumSMs, 80u);
+  EXPECT_GT(Device.DramBandwidthGBs, makeP100().DramBandwidthGBs);
+  EXPECT_GT(Device.PeakGflopsDouble, makeP100().PeakGflopsDouble);
+  EXPECT_NEAR(Device.PeakGflopsSingle / Device.PeakGflopsDouble, 2.0, 0.01);
+}
+
+TEST(Occupancy, ThreadLimited) {
+  DeviceSpec Device = makeV100();
+  BlockResources Block{/*ThreadsPerBlock=*/1024, /*SharedMemBytes=*/0,
+                       /*RegistersPerThread=*/32};
+  OccupancyResult Result = computeOccupancy(Device, Block);
+  EXPECT_EQ(Result.BlocksPerSM, 2u);
+  EXPECT_DOUBLE_EQ(Result.Occupancy, 1.0);
+}
+
+TEST(Occupancy, SmemLimited) {
+  DeviceSpec Device = makeV100(); // 96 KiB per SM
+  BlockResources Block{256, 40 * 1024, 32};
+  OccupancyResult Result = computeOccupancy(Device, Block);
+  EXPECT_EQ(Result.BlocksPerSM, 2u);
+  EXPECT_STREQ(Result.Limiter, "smem");
+  EXPECT_NEAR(Result.Occupancy, 2.0 * 8 / 64, 1e-9);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  DeviceSpec Device = makeV100(); // 65536 registers per SM
+  BlockResources Block{256, 0, 255};
+  OccupancyResult Result = computeOccupancy(Device, Block);
+  EXPECT_EQ(Result.BlocksPerSM, 65536u / (255 * 256));
+  EXPECT_STREQ(Result.Limiter, "regs");
+}
+
+TEST(Occupancy, BlockCapLimited) {
+  DeviceSpec Device = makeV100();
+  BlockResources Block{32, 0, 16};
+  OccupancyResult Result = computeOccupancy(Device, Block);
+  EXPECT_EQ(Result.BlocksPerSM, Device.MaxBlocksPerSM);
+}
+
+TEST(Occupancy, UnfitBlock) {
+  DeviceSpec Device = makeV100();
+  BlockResources TooManyThreads{2048, 0, 32};
+  EXPECT_EQ(computeOccupancy(Device, TooManyThreads).BlocksPerSM, 0u);
+  BlockResources TooMuchSmem{256, 1024 * 1024, 32};
+  EXPECT_EQ(computeOccupancy(Device, TooMuchSmem).BlocksPerSM, 0u);
+  BlockResources ZeroThreads{0, 0, 32};
+  EXPECT_EQ(computeOccupancy(Device, ZeroThreads).BlocksPerSM, 0u);
+}
+
+TEST(Occupancy, WaveEfficiency) {
+  DeviceSpec Device = makeV100(); // 80 SMs
+  // Exactly one full wave.
+  EXPECT_DOUBLE_EQ(waveEfficiency(Device, 80, 1), 1.0);
+  // Half a wave: half the SMs idle.
+  EXPECT_DOUBLE_EQ(waveEfficiency(Device, 40, 1), 0.5);
+  // 81 blocks: a nearly empty second wave.
+  EXPECT_NEAR(waveEfficiency(Device, 81, 1), 81.0 / 160.0, 1e-12);
+  // Degenerate cases.
+  EXPECT_DOUBLE_EQ(waveEfficiency(Device, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(waveEfficiency(Device, 100, 0), 0.0);
+}
+
+TEST(PerfModel, CalibrationPerDevice) {
+  Calibration P100 = makeCalibration(makeP100());
+  Calibration V100 = makeCalibration(makeV100());
+  EXPECT_LT(P100.MaxDramEfficiency, V100.MaxDramEfficiency);
+  EXPECT_GT(P100.DramSaturationOccupancy, V100.DramSaturationOccupancy);
+}
+
+KernelProfile typicalProfile() {
+  KernelProfile Profile;
+  Profile.Flops = 1e9;
+  Profile.DramBytes = 2e8;
+  Profile.SmemBytes = 1e9;
+  Profile.Occupancy = 0.5;
+  Profile.WaveEff = 1.0;
+  Profile.ElementSize = 8;
+  Profile.RegisterTileFlops = 16;
+  return Profile;
+}
+
+TEST(PerfModel, MoreTrafficMeansMoreTime) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  KernelProfile Light = typicalProfile();
+  KernelProfile Heavy = typicalProfile();
+  Heavy.DramBytes *= 10;
+  EXPECT_LT(estimateKernelTime(Device, Calib, Light).TimeMs,
+            estimateKernelTime(Device, Calib, Heavy).TimeMs);
+}
+
+TEST(PerfModel, GflopsConsistentWithTime) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  PerfEstimate Est = estimateKernelTime(Device, Calib, typicalProfile());
+  EXPECT_NEAR(Est.Gflops, 1e9 / (Est.TimeMs * 1e-3) / 1e9, 1e-6);
+}
+
+TEST(PerfModel, ZeroOccupancyIsInfeasible) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  KernelProfile Profile = typicalProfile();
+  Profile.Occupancy = 0.0;
+  PerfEstimate Est = estimateKernelTime(Device, Calib, Profile);
+  EXPECT_TRUE(std::isinf(Est.TimeMs));
+}
+
+TEST(PerfModel, BoundLabels) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  KernelProfile MemBound = typicalProfile();
+  MemBound.DramBytes = 1e10;
+  EXPECT_STREQ(estimateKernelTime(Device, Calib, MemBound).Bound, "dram");
+  KernelProfile ComputeBound = typicalProfile();
+  ComputeBound.Flops = 1e12;
+  ComputeBound.DramBytes = 1e6;
+  ComputeBound.SmemBytes = 1e6;
+  EXPECT_STREQ(estimateKernelTime(Device, Calib, ComputeBound).Bound,
+               "compute");
+}
+
+TEST(PerfModel, SinglePrecisionDoublesComputeRate) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  KernelProfile Dp = typicalProfile();
+  Dp.Flops = 1e12;
+  Dp.DramBytes = 1e6;
+  Dp.SmemBytes = 0;
+  KernelProfile Sp = Dp;
+  Sp.ElementSize = 4;
+  EXPECT_NEAR(estimateKernelTime(Device, Calib, Dp).TimeMs /
+                  estimateKernelTime(Device, Calib, Sp).TimeMs,
+              2.0, 0.1);
+}
+
+TEST(PerfModel, LowOccupancyThrottlesBandwidth) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  KernelProfile Saturated = typicalProfile();
+  Saturated.DramBytes = 1e10;
+  KernelProfile Starved = Saturated;
+  Starved.Occupancy = 0.02; // below the saturation point
+  EXPECT_LT(estimateKernelTime(Device, Calib, Saturated).TimeMs,
+            estimateKernelTime(Device, Calib, Starved).TimeMs);
+}
+
+TEST(PerfModel, SmallRegisterTileLimitsIlp) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  KernelProfile BigTile = typicalProfile();
+  BigTile.Flops = 1e12;
+  BigTile.DramBytes = 1e6;
+  BigTile.SmemBytes = 0;
+  KernelProfile TinyTile = BigTile;
+  TinyTile.RegisterTileFlops = 1;
+  EXPECT_LT(estimateKernelTime(Device, Calib, BigTile).TimeMs,
+            estimateKernelTime(Device, Calib, TinyTile).TimeMs);
+}
+
+TEST(PerfModel, LaunchOverheadFloorsTinyKernels) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  KernelProfile Tiny = typicalProfile();
+  Tiny.Flops = 1e3;
+  Tiny.DramBytes = 1e3;
+  Tiny.SmemBytes = 0;
+  PerfEstimate Est = estimateKernelTime(Device, Calib, Tiny);
+  EXPECT_GE(Est.TimeMs, Device.KernelLaunchOverheadUs * 1e-3);
+}
+
+TEST(PerfModel, StreamTime) {
+  DeviceSpec Device = makeV100();
+  Calibration Calib = makeCalibration(Device);
+  double OneGB = estimateStreamTimeMs(Device, Calib, 1e9, 1.0);
+  double TwoGB = estimateStreamTimeMs(Device, Calib, 2e9, 1.0);
+  EXPECT_GT(TwoGB, OneGB);
+  double HalfEff = estimateStreamTimeMs(Device, Calib, 1e9, 0.5);
+  EXPECT_GT(HalfEff, OneGB);
+}
+
+} // namespace

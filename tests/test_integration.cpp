@@ -1,0 +1,199 @@
+//===- tests/test_integration.cpp - End-to-end pipeline tests --------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the whole pipeline the way a user would: parse -> generate
+/// (enumerate + rank + emit) -> execute the chosen schedule on the
+/// simulator -> compare against the reference oracle and the TTGT baseline,
+/// across TCCG entries and both devices.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/NwchemGen.h"
+#include "baselines/Ttgt.h"
+#include "core/Cogent.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using core::Cogent;
+using core::CogentOptions;
+using core::GenerationResult;
+using ir::Contraction;
+using ir::Operand;
+using tensor::Tensor;
+
+namespace {
+
+TEST(Integration, GenerateProducesRankedKernels) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = suite::suiteEntry(12).contraction();
+  CogentOptions Options;
+  Options.TopK = 5;
+  ErrorOr<GenerationResult> Result = Generator.generate(TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+  ASSERT_EQ(Result->Kernels.size(), 5u);
+  for (size_t I = 1; I < Result->Kernels.size(); ++I)
+    EXPECT_LE(Result->Kernels[I - 1].Cost.total(),
+              Result->Kernels[I].Cost.total());
+  EXPECT_GT(Result->best().Predicted.Gflops, 0.0);
+  EXPECT_FALSE(Result->best().Source.KernelSource.empty());
+  EXPECT_GT(Result->Stats.Survivors, 0u);
+  EXPECT_GE(Result->ElapsedMs, 0.0);
+}
+
+TEST(Integration, ParseAndGenerateConvenience) {
+  Cogent Generator(gpu::makeP100());
+  ErrorOr<GenerationResult> Result = Generator.generate(
+      "ij-ik-kj", {{'i', 1024}, {'j', 1024}, {'k', 1024}});
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_GT(Result->best().Predicted.Gflops, 100.0);
+}
+
+TEST(Integration, GenerateRejectsMalformedSpec) {
+  Cogent Generator(gpu::makeV100());
+  ErrorOr<GenerationResult> Result =
+      Generator.generate("ij-ik", {{'i', 8}, {'j', 8}, {'k', 8}});
+  EXPECT_FALSE(Result.hasValue());
+}
+
+TEST(Integration, BestKernelBeatsWorstRankedOnModeledCost) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = suite::suiteEntry(31).contraction();
+  CogentOptions Options;
+  Options.TopK = 50;
+  ErrorOr<GenerationResult> Result = Generator.generate(TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+  ASSERT_GT(Result->Kernels.size(), 1u);
+  EXPECT_LT(Result->Kernels.front().Cost.total(),
+            Result->Kernels.back().Cost.total() * 1.0 + 1.0);
+}
+
+/// The heart of the reproduction: for suite entries at functional sizes,
+/// the model-chosen kernel executed by the simulator must equal the
+/// reference contraction, and so must NWChem's fixed config and the TTGT
+/// pipeline.
+class EndToEnd : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEnd, AllPathsAgreeOnSuiteEntry) {
+  const suite::SuiteEntry &Entry = suite::suiteEntry(GetParam());
+  Contraction TC = Entry.contractionScaled(6);
+
+  Rng Generator(500 + GetParam());
+  Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+  Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  Tensor<double> Expected = tensor::makeOperand<double>(TC, Operand::C);
+  tensor::contractReference(TC, Expected, A, B);
+
+  // COGENT's best kernel through the simulator.
+  Cogent Gen(gpu::makeV100());
+  core::CogentOptions Options;
+  Options.Enumeration.MinThreadBlocks = 1;
+  Options.Enumeration.MinOccupancy = 0.0;
+  ErrorOr<GenerationResult> Result = Gen.generate(TC, Options);
+  ASSERT_TRUE(Result.hasValue()) << Entry.Spec;
+  core::KernelPlan Plan(TC, Result->best().Config);
+  Tensor<double> FromCogent = tensor::makeOperand<double>(TC, Operand::C);
+  gpu::SimResult Sim = gpu::simulateKernel(Plan, FromCogent, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, FromCogent), 1e-10)
+      << Entry.Spec << " config " << Result->best().Config.toString();
+  EXPECT_GT(Sim.totalTransactions(), 0u);
+
+  // NWChem's fixed heuristic through the same simulator.
+  core::KernelConfig Nw = baselines::nwchemConfig(TC);
+  core::KernelPlan NwPlan(TC, Nw);
+  Tensor<double> FromNwchem = tensor::makeOperand<double>(TC, Operand::C);
+  gpu::simulateKernel(NwPlan, FromNwchem, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, FromNwchem), 1e-10)
+      << Entry.Spec;
+
+  // TTGT functional pipeline.
+  Tensor<double> FromTtgt = tensor::makeOperand<double>(TC, Operand::C);
+  baselines::runTtgt(TC, FromTtgt, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, FromTtgt), 1e-10)
+      << Entry.Spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tccg, EndToEnd, ::testing::Range(1, 49));
+
+TEST(Integration, EmittedSourceConsistentWithChosenConfig) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = suite::suiteEntry(31).contraction();
+  ErrorOr<GenerationResult> Result = Generator.generate(TC);
+  ASSERT_TRUE(Result.hasValue());
+  const core::GeneratedKernel &Kernel = Result->best();
+  std::string Expected =
+      "#define TBX " + std::to_string(Kernel.Config.tbxSize());
+  EXPECT_NE(Kernel.Source.KernelSource.find(Expected), std::string::npos);
+  EXPECT_NE(Kernel.Source.KernelSource.find(Kernel.Config.toString()),
+            std::string::npos);
+}
+
+TEST(Integration, SinglePrecisionGenerationEmitsFloatKernels) {
+  Cogent Generator(gpu::makeV100());
+  ir::Contraction TC = suite::suiteEntry(31).contraction();
+  CogentOptions Options;
+  Options.ElementSize = 4;
+  ErrorOr<GenerationResult> Result = Generator.generate(TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_NE(Result->best().Source.KernelSource.find("float s_A"),
+            std::string::npos);
+  // SP roughly doubles throughput on compute-heavy shapes and never loses.
+  CogentOptions DpOptions;
+  ErrorOr<GenerationResult> DpResult = Generator.generate(TC, DpOptions);
+  ASSERT_TRUE(DpResult.hasValue());
+  EXPECT_GE(Result->best().Predicted.Gflops,
+            DpResult->best().Predicted.Gflops);
+}
+
+TEST(Integration, DeviceAffectsPrediction) {
+  ir::Contraction TC = suite::suiteEntry(31).contraction();
+  Cogent P100(gpu::makeP100());
+  Cogent V100(gpu::makeV100());
+  ErrorOr<GenerationResult> OnP100 = P100.generate(TC);
+  ErrorOr<GenerationResult> OnV100 = V100.generate(TC);
+  ASSERT_TRUE(OnP100.hasValue() && OnV100.hasValue());
+  // V100 has more bandwidth and flops: the same contraction must predict
+  // faster execution.
+  EXPECT_GT(OnV100->best().Predicted.Gflops,
+            OnP100->best().Predicted.Gflops);
+}
+
+TEST(Integration, SimulatorTrafficTracksModeledCost) {
+  // Modeled DRAM transactions and simulator-exact ones must agree to a
+  // small factor for the chosen kernels of a few suite entries.
+  Cogent Generator(gpu::makeV100());
+  for (int Id : {1, 12, 31}) {
+    Contraction TC = suite::suiteEntry(Id).contractionScaled(8);
+    core::CogentOptions Options;
+    Options.Enumeration.MinThreadBlocks = 1;
+    Options.Enumeration.MinOccupancy = 0.0;
+    ErrorOr<GenerationResult> Result = Generator.generate(TC, Options);
+    ASSERT_TRUE(Result.hasValue());
+    core::KernelPlan Plan(TC, Result->best().Config);
+
+    Rng Gen(7);
+    Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+    Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+    A.fillRandom(Gen);
+    B.fillRandom(Gen);
+    Tensor<double> C = tensor::makeOperand<double>(TC, Operand::C);
+    gpu::SimResult Sim = gpu::simulateKernel(Plan, C, A, B);
+    double Modeled = Result->best().Cost.total();
+    double Exact = static_cast<double>(Sim.totalTransactions());
+    EXPECT_LT(Modeled / Exact, 2.5) << Id;
+    EXPECT_GT(Modeled / Exact, 0.4) << Id;
+  }
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/test_kernel_config.cpp - Table-II parameter tests -------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelConfig.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using core::IndexTile;
+using core::KernelConfig;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+Contraction eq1(int64_t Extent = 16) {
+  ErrorOr<Contraction> TC =
+      Contraction::parseUniform("abcd-aebf-dfce", Extent);
+  EXPECT_TRUE(TC.hasValue());
+  return *TC;
+}
+
+KernelConfig fig2Config() {
+  // Fig. 2 of the paper: {a}->Tx, {c}->Ty, {b}->Rx, {d}->Ry plus a staged
+  // contraction tile.
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 16}};
+  Config.TBy = {{'c', 8}};
+  Config.RegX = {{'b', 4}};
+  Config.RegY = {{'d', 2}};
+  Config.TBk = {{'e', 4}, {'f', 2}};
+  return Config;
+}
+
+TEST(KernelConfig, DerivedSizes) {
+  KernelConfig Config = fig2Config();
+  EXPECT_EQ(Config.tbxSize(), 16);
+  EXPECT_EQ(Config.tbySize(), 8);
+  EXPECT_EQ(Config.regXSize(), 4);
+  EXPECT_EQ(Config.regYSize(), 2);
+  EXPECT_EQ(Config.tbkSize(), 8);
+  EXPECT_EQ(Config.threadsPerBlock(), 128);
+  EXPECT_EQ(Config.yInput(), Operand::B);
+}
+
+TEST(KernelConfig, TileOfUnmappedIsOne) {
+  KernelConfig Config = fig2Config();
+  EXPECT_EQ(Config.tileOf('a'), 16);
+  EXPECT_EQ(Config.tileOf('e'), 4);
+  EXPECT_EQ(Config.tileOf('z'), 1);
+  EXPECT_TRUE(Config.isMapped('b'));
+  EXPECT_FALSE(Config.isMapped('z'));
+}
+
+TEST(KernelConfig, GridAndStepCounts) {
+  Contraction TC = eq1(16);
+  KernelConfig Config = fig2Config();
+  // ceil(16/16) * ceil(16/4) * ceil(16/8) * ceil(16/2) = 1*4*2*8 = 64.
+  EXPECT_EQ(Config.numThreadBlocks(TC), 64);
+  // ceil(16/4) * ceil(16/2) = 4 * 8 = 32.
+  EXPECT_EQ(Config.numSteps(TC), 32);
+}
+
+TEST(KernelConfig, GridCountsRoundUpRaggedExtents) {
+  ErrorOr<Contraction> TC = Contraction::parse(
+      "abcd-aebf-dfce",
+      {{'a', 17}, {'b', 5}, {'c', 9}, {'d', 3}, {'e', 6}, {'f', 3}});
+  ASSERT_TRUE(TC.hasValue());
+  KernelConfig Config = fig2Config();
+  EXPECT_EQ(Config.numThreadBlocks(*TC), 2 * 2 * 2 * 2);
+  EXPECT_EQ(Config.numSteps(*TC), 2 * 2);
+}
+
+TEST(KernelConfig, SmemFootprint) {
+  KernelConfig Config = fig2Config();
+  // (TBx*REGx + TBy*REGy) * TBk = (64 + 16) * 8 = 640 elements.
+  EXPECT_EQ(Config.smemElements(), 640);
+  EXPECT_EQ(Config.smemBytes(8), 5120);
+  EXPECT_EQ(Config.smemBytes(4), 2560);
+}
+
+TEST(KernelConfig, RegisterEstimate) {
+  KernelConfig Config = fig2Config();
+  // (4*2 + 4 + 2) values * 2 regs (double) + 28 overhead.
+  EXPECT_EQ(Config.registersPerThread(8), 14u * 2 + 28);
+  EXPECT_EQ(Config.registersPerThread(4), 14u + 28);
+}
+
+TEST(KernelConfig, ValidatesCleanConfig) {
+  Contraction TC = eq1();
+  EXPECT_EQ(fig2Config().validate(TC), "");
+}
+
+TEST(KernelConfigValidate, RejectsDoubleMapping) {
+  Contraction TC = eq1();
+  KernelConfig Config = fig2Config();
+  Config.RegX.push_back({'b', 2}); // b already in RegX
+  EXPECT_NE(Config.validate(TC).find("more than one"), std::string::npos);
+}
+
+TEST(KernelConfigValidate, RejectsTileOutOfRange) {
+  Contraction TC = eq1(16);
+  KernelConfig Config = fig2Config();
+  Config.TBy[0].Tile = 32; // extent is 16
+  EXPECT_NE(Config.validate(TC).find("tile > extent"), std::string::npos);
+  Config.TBy[0].Tile = 0;
+  EXPECT_NE(Config.validate(TC).find("tile < 1"), std::string::npos);
+}
+
+TEST(KernelConfigValidate, RejectsInternalOnThreadDims) {
+  Contraction TC = eq1();
+  KernelConfig Config = fig2Config();
+  Config.TBy.push_back({'e', 4});
+  Config.TBk.clear();
+  EXPECT_NE(Config.validate(TC).find("internal index"), std::string::npos);
+}
+
+TEST(KernelConfigValidate, RejectsExternalOnTBk) {
+  Contraction TC = eq1();
+  KernelConfig Config = fig2Config();
+  Config.TBk.push_back({'c', 4});
+  Config.TBy.clear();
+  EXPECT_NE(Config.validate(TC).find("external index"), std::string::npos);
+}
+
+TEST(KernelConfigValidate, RejectsWrongSideMapping) {
+  Contraction TC = eq1();
+  KernelConfig Config = fig2Config();
+  // 'c' belongs to B (the Y input) but is placed on RegX.
+  Config.RegX = {{'c', 4}};
+  Config.TBy = {{'d', 8}};
+  Config.RegY.clear();
+  EXPECT_NE(Config.validate(TC).find("does not belong"), std::string::npos);
+}
+
+TEST(KernelConfigValidate, RequiresOutputFviLeadingTBx) {
+  Contraction TC = eq1();
+  KernelConfig Config = fig2Config();
+  Config.TBx = {{'b', 4}}; // 'a' missing
+  Config.RegX = {{'a', 4}};
+  EXPECT_NE(Config.validate(TC).find("must start with"), std::string::npos);
+}
+
+TEST(KernelConfigValidate, RequiresXInputContainingOutputFvi) {
+  Contraction TC = eq1();
+  KernelConfig Config = fig2Config();
+  Config.XInput = Operand::B; // 'a' lives in A
+  // The side-ownership rule fires first: TBx entries no longer belong to
+  // the X input.
+  EXPECT_FALSE(Config.validate(TC).empty());
+}
+
+TEST(KernelConfig, ToStringRendersAllLists) {
+  KernelConfig Config = fig2Config();
+  std::string Str = Config.toString();
+  EXPECT_NE(Str.find("TBx[a:16]"), std::string::npos);
+  EXPECT_NE(Str.find("TBk[e:4,f:2]"), std::string::npos);
+  EXPECT_NE(Str.find("X=A"), std::string::npos);
+}
+
+} // namespace

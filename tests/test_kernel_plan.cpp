@@ -1,0 +1,192 @@
+//===- tests/test_kernel_plan.cpp - Plan-lowering tests --------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using core::CoordRole;
+using core::IndexTile;
+using core::KernelConfig;
+using core::KernelPlan;
+using core::SliceDim;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+Contraction eq1(int64_t Extent = 16) {
+  ErrorOr<Contraction> TC =
+      Contraction::parseUniform("abcd-aebf-dfce", Extent);
+  EXPECT_TRUE(TC.hasValue());
+  return *TC;
+}
+
+KernelConfig fig2Config() {
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 16}};
+  Config.TBy = {{'c', 8}};
+  Config.RegX = {{'b', 4}};
+  Config.RegY = {{'d', 2}};
+  Config.TBk = {{'e', 4}, {'f', 2}};
+  return Config;
+}
+
+TEST(DecodeMixedRadix, FirstEntryFastest) {
+  std::vector<IndexTile> List = {{'x', 3}, {'y', 4}};
+  EXPECT_EQ(core::decodeMixedRadix(0, List),
+            (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(core::decodeMixedRadix(1, List),
+            (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(core::decodeMixedRadix(3, List),
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(core::decodeMixedRadix(11, List),
+            (std::vector<int64_t>{2, 3}));
+}
+
+TEST(DecodeMixedRadix, EmptyList) {
+  EXPECT_TRUE(core::decodeMixedRadix(0, {}).empty());
+}
+
+TEST(KernelPlan, Sizes) {
+  Contraction TC = eq1();
+  KernelPlan Plan(TC, fig2Config());
+  EXPECT_EQ(Plan.tbX(), 16);
+  EXPECT_EQ(Plan.tbY(), 8);
+  EXPECT_EQ(Plan.regX(), 4);
+  EXPECT_EQ(Plan.regY(), 2);
+  EXPECT_EQ(Plan.tbk(), 8);
+  EXPECT_EQ(Plan.threadsPerBlock(), 128);
+  EXPECT_EQ(Plan.numBlocks(), 64);
+  EXPECT_EQ(Plan.numSteps(), 32);
+}
+
+TEST(KernelPlan, GridDimsFollowCOrder) {
+  Contraction TC = eq1();
+  KernelPlan Plan(TC, fig2Config());
+  const std::vector<core::PlanDim> &Grid = Plan.gridDims();
+  ASSERT_EQ(Grid.size(), 4u);
+  EXPECT_EQ(Grid[0].Name, 'a');
+  EXPECT_EQ(Grid[0].Tile, 16);
+  EXPECT_EQ(Grid[0].NumTiles, 1);
+  EXPECT_EQ(Grid[1].Name, 'b');
+  EXPECT_EQ(Grid[1].NumTiles, 4);
+  EXPECT_EQ(Grid[3].Name, 'd');
+  EXPECT_EQ(Grid[3].NumTiles, 8);
+}
+
+TEST(KernelPlan, StepDimsFollowAOrder) {
+  Contraction TC = eq1();
+  KernelPlan Plan(TC, fig2Config());
+  const std::vector<core::PlanDim> &Steps = Plan.stepDims();
+  ASSERT_EQ(Steps.size(), 2u);
+  EXPECT_EQ(Steps[0].Name, 'e');
+  EXPECT_EQ(Steps[0].NumTiles, 4);
+  EXPECT_EQ(Steps[1].Name, 'f');
+  EXPECT_EQ(Steps[1].NumTiles, 8);
+}
+
+TEST(KernelPlan, SliceDimsCarryRolesAndStrides) {
+  Contraction TC = eq1();
+  KernelPlan Plan(TC, fig2Config());
+  // A = [a, e, b, f]: roles ThreadX, Step, RegX, Step.
+  const std::vector<SliceDim> &SliceA = Plan.sliceDims(Operand::A);
+  ASSERT_EQ(SliceA.size(), 4u);
+  EXPECT_EQ(SliceA[0].Name, 'a');
+  EXPECT_EQ(SliceA[0].Role, CoordRole::ThreadX);
+  EXPECT_EQ(SliceA[0].GlobalStride, 1);
+  EXPECT_EQ(SliceA[0].SmemStride, 1);
+  EXPECT_EQ(SliceA[1].Name, 'e');
+  EXPECT_EQ(SliceA[1].Role, CoordRole::Step);
+  EXPECT_EQ(SliceA[1].RolePos, 0u);
+  EXPECT_EQ(SliceA[1].GlobalStride, 16);
+  // Staging layout: thread dims fastest (a: 1), then register dims
+  // (b: 16), then staged contraction dims in tensor order (e: 64, f: 256).
+  EXPECT_EQ(SliceA[1].SmemStride, 64);
+  EXPECT_EQ(SliceA[2].Name, 'b');
+  EXPECT_EQ(SliceA[2].Role, CoordRole::RegX);
+  EXPECT_EQ(SliceA[2].SmemStride, 16);
+  EXPECT_EQ(SliceA[3].Name, 'f');
+  EXPECT_EQ(SliceA[3].RolePos, 1u);
+  EXPECT_EQ(SliceA[3].SmemStride, 256);
+  // B = [d, f, c, e]: roles RegY, Step, ThreadY, Step.
+  const std::vector<SliceDim> &SliceB = Plan.sliceDims(Operand::B);
+  EXPECT_EQ(SliceB[0].Role, CoordRole::RegY);
+  EXPECT_EQ(SliceB[2].Role, CoordRole::ThreadY);
+}
+
+TEST(KernelPlan, SliceElements) {
+  Contraction TC = eq1();
+  KernelPlan Plan(TC, fig2Config());
+  // A slice: 16 (a) * 4 (e) * 4 (b) * 2 (f) = 512.
+  EXPECT_EQ(Plan.sliceElements(Operand::A), 512);
+  // B slice: 2 (d) * 2 (f) * 8 (c) * 4 (e) = 128.
+  EXPECT_EQ(Plan.sliceElements(Operand::B), 128);
+  EXPECT_EQ(Plan.sliceElements(Operand::A) + Plan.sliceElements(Operand::B),
+            fig2Config().smemElements());
+}
+
+TEST(KernelPlan, ContiguousRunStopsAtPartialTile) {
+  Contraction TC = eq1(16);
+  KernelPlan Plan(TC, fig2Config());
+  // A: tile(a) = 16 == extent, tile(e) = 4 < 16 -> run = 16 * 4.
+  EXPECT_EQ(Plan.contiguousRun(Operand::A), 64);
+  // B: tile(d) = 2 < 16 -> run stops immediately at 2.
+  EXPECT_EQ(Plan.contiguousRun(Operand::B), 2);
+  // C: tile(a) = 16 == extent, tile(b) = 4 < 16 -> 64.
+  EXPECT_EQ(Plan.contiguousRunC(), 64);
+}
+
+TEST(KernelPlan, ContiguousRunFullTensor) {
+  Contraction TC = eq1(4);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 4}};
+  Config.RegX = {{'b', 4}};
+  Config.TBy = {{'c', 4}};
+  Config.RegY = {{'d', 4}};
+  Config.TBk = {{'e', 4}, {'f', 4}};
+  KernelPlan Plan(TC, Config);
+  // Every tile covers its full extent: the whole slice is contiguous.
+  EXPECT_EQ(Plan.contiguousRun(Operand::A), 4 * 4 * 4 * 4);
+  EXPECT_EQ(Plan.numBlocks(), 1);
+  EXPECT_EQ(Plan.numSteps(), 1);
+}
+
+TEST(KernelPlan, UnmappedDimsAreFixedWithTileOne) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abc-acd-db", 8);
+  ASSERT_TRUE(TC.hasValue());
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 8}};
+  Config.TBy = {{'b', 8}};
+  Config.TBk = {{'d', 8}};
+  // 'c' is unmapped.
+  KernelPlan Plan(*TC, Config);
+  const std::vector<SliceDim> &SliceA = Plan.sliceDims(Operand::A);
+  ASSERT_EQ(SliceA.size(), 3u);
+  EXPECT_EQ(SliceA[1].Name, 'c');
+  EXPECT_EQ(SliceA[1].Role, CoordRole::Fixed);
+  EXPECT_EQ(SliceA[1].Tile, 1);
+  EXPECT_EQ(Plan.numBlocks(), 8); // one block per value of c
+}
+
+TEST(KernelPlan, StoreDimsCoverEveryOutputIndex) {
+  Contraction TC = eq1();
+  KernelPlan Plan(TC, fig2Config());
+  const std::vector<core::StoreDim> &Stores = Plan.storeDims();
+  ASSERT_EQ(Stores.size(), 4u);
+  EXPECT_EQ(Stores[0].Name, 'a');
+  EXPECT_EQ(Stores[0].Role, CoordRole::ThreadX);
+  EXPECT_EQ(Stores[1].Role, CoordRole::RegX);
+  EXPECT_EQ(Stores[2].Role, CoordRole::ThreadY);
+  EXPECT_EQ(Stores[3].Role, CoordRole::RegY);
+  EXPECT_EQ(Stores[3].GlobalStride, 16 * 16 * 16);
+}
+
+} // namespace

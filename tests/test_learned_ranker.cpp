@@ -1,0 +1,161 @@
+//===- tests/test_learned_ranker.cpp - §VI learned-selection tests ---------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/LearnedRanker.h"
+
+#include "core/Enumerator.h"
+#include "gpu/KernelSimulator.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cogent;
+using gpu::LearnedRanker;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+TEST(LearnedRanker, FeaturesAreFiniteAndSized) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abcd-aebf-dfce", 16);
+  ASSERT_TRUE(TC.hasValue());
+  gpu::DeviceSpec Device = gpu::makeV100();
+  core::Enumerator Enum(*TC, Device);
+  std::vector<core::KernelConfig> Configs = Enum.enumerate();
+  ASSERT_FALSE(Configs.empty());
+  core::KernelPlan Plan(*TC, Configs.front());
+  std::vector<double> Features = LearnedRanker::featuresOf(Plan, Device, 8);
+  ASSERT_EQ(Features.size(), LearnedRanker::NumFeatures);
+  EXPECT_DOUBLE_EQ(Features[0], 1.0); // bias
+  for (double F : Features)
+    EXPECT_TRUE(std::isfinite(F));
+}
+
+TEST(LearnedRanker, RidgeRecoversLinearFunction) {
+  // y = 3 + 2*x1 - x2 with the remaining features inert.
+  Rng Generator(17);
+  std::vector<std::vector<double>> Samples;
+  std::vector<double> Targets;
+  for (int I = 0; I < 200; ++I) {
+    std::vector<double> X(LearnedRanker::NumFeatures, 0.0);
+    X[0] = 1.0;
+    for (size_t J = 1; J < X.size(); ++J)
+      X[J] = Generator.uniformReal(-2, 2);
+    Samples.push_back(X);
+    Targets.push_back(3.0 + 2.0 * X[1] - X[2]);
+  }
+  LearnedRanker Ranker;
+  Ranker.train(Samples, Targets, /*Ridge=*/1e-8);
+  ASSERT_TRUE(Ranker.isTrained());
+  // Weights live in standardized feature space; verify via predictions.
+  for (int I = 0; I < 20; ++I) {
+    std::vector<double> Probe(LearnedRanker::NumFeatures, 0.0);
+    Probe[0] = 1.0;
+    for (size_t J = 1; J < Probe.size(); ++J)
+      Probe[J] = Generator.uniformReal(-2, 2);
+    EXPECT_NEAR(Ranker.predict(Probe), 3.0 + 2.0 * Probe[1] - Probe[2],
+                1e-3);
+  }
+}
+
+TEST(LearnedRanker, FitFromSimulationPredictsUsefully) {
+  ErrorOr<Contraction> TC =
+      Contraction::parseUniform("abcdef-gdab-efgc", 16);
+  ASSERT_TRUE(TC.hasValue());
+  gpu::DeviceSpec Device = gpu::makeV100();
+  LearnedRanker Ranker = LearnedRanker::fitFromSimulation(
+      *TC, Device, 8, /*MaxSamples=*/24, /*MeasureExtent=*/8);
+  ASSERT_TRUE(Ranker.isTrained());
+
+  // Out-of-sample check at the measurement size: the prediction must
+  // correlate positively with fresh simulated measurements.
+  ErrorOr<Contraction> Small =
+      Contraction::parseUniform("abcdef-gdab-efgc", 8);
+  ASSERT_TRUE(Small.hasValue());
+  core::EnumerationOptions Options;
+  Options.MinThreadBlocks = 1;
+  Options.MinOccupancy = 0.0;
+  core::Enumerator Enum(*Small, Device, Options);
+  std::vector<core::KernelConfig> Configs = Enum.enumerate();
+
+  Rng Generator(4242); // different data than the training fill
+  tensor::Tensor<double> A = tensor::makeOperand<double>(*Small, Operand::A);
+  tensor::Tensor<double> B = tensor::makeOperand<double>(*Small, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  tensor::Tensor<double> C = tensor::makeOperand<double>(*Small, Operand::C);
+
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  std::vector<double> Predicted, Measured;
+  size_t Stride = std::max<size_t>(1, Configs.size() / 16);
+  for (size_t I = 7; I < Configs.size(); I += Stride) { // offset sample
+    core::KernelPlan Plan(*Small, Configs[I]);
+    Predicted.push_back(
+        Ranker.predict(LearnedRanker::featuresOf(Plan, Device, 8)));
+    gpu::SimResult Sim = gpu::simulateKernel(Plan, C, A, B);
+    gpu::KernelProfile Profile = gpu::makeProfileFromSim(Plan, Device, 8, Sim);
+    Measured.push_back(
+        std::log(gpu::estimateKernelTime(Device, Calib, Profile).Gflops));
+  }
+  ASSERT_GE(Predicted.size(), 8u);
+  // Pearson correlation of predictions vs measurements.
+  double MeanP = 0, MeanM = 0;
+  for (size_t I = 0; I < Predicted.size(); ++I) {
+    MeanP += Predicted[I];
+    MeanM += Measured[I];
+  }
+  MeanP /= Predicted.size();
+  MeanM /= Measured.size();
+  double Num = 0, DP = 0, DM = 0;
+  for (size_t I = 0; I < Predicted.size(); ++I) {
+    Num += (Predicted[I] - MeanP) * (Measured[I] - MeanM);
+    DP += (Predicted[I] - MeanP) * (Predicted[I] - MeanP);
+    DM += (Measured[I] - MeanM) * (Measured[I] - MeanM);
+  }
+  double Correlation = Num / std::sqrt(DP * DM);
+  EXPECT_GT(Correlation, 0.6);
+}
+
+TEST(LearnedRanker, RankOrdersAllCandidates) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abcd-aebf-dfce", 24);
+  ASSERT_TRUE(TC.hasValue());
+  gpu::DeviceSpec Device = gpu::makeV100();
+  core::Cogent Generator(Device);
+  core::CogentOptions Options;
+  Options.TopK = 8;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(*TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+
+  LearnedRanker Ranker = LearnedRanker::fitFromSimulation(
+      *TC, Device, 8, /*MaxSamples=*/20, /*MeasureExtent=*/8);
+  std::vector<size_t> Order = Ranker.rank(*TC, *Result, Device, 8);
+  ASSERT_EQ(Order.size(), Result->Kernels.size());
+  // A permutation of the kernel indices.
+  std::vector<bool> Seen(Order.size(), false);
+  for (size_t I : Order) {
+    ASSERT_LT(I, Seen.size());
+    EXPECT_FALSE(Seen[I]);
+    Seen[I] = true;
+  }
+}
+
+TEST(LearnedRanker, DeterministicBySeed) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("abc-acd-db", 32);
+  ASSERT_TRUE(TC.hasValue());
+  gpu::DeviceSpec Device = gpu::makeV100();
+  LearnedRanker First = LearnedRanker::fitFromSimulation(*TC, Device, 8, 12,
+                                                         8, /*Seed=*/99);
+  LearnedRanker Second = LearnedRanker::fitFromSimulation(*TC, Device, 8, 12,
+                                                          8, /*Seed=*/99);
+  ASSERT_EQ(First.weights().size(), Second.weights().size());
+  for (size_t I = 0; I < First.weights().size(); ++I)
+    EXPECT_DOUBLE_EQ(First.weights()[I], Second.weights()[I]);
+}
+
+} // namespace

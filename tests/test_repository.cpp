@@ -1,0 +1,120 @@
+//===- tests/test_repository.cpp - Multi-size versions + refinement --------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the §IV-B multi-representative-size repository (runtime selection
+/// of the closest code version) and the §VI simulation-refined top-K
+/// selection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/KernelRepository.h"
+#include "gpu/Autotune.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using core::Cogent;
+using core::CogentOptions;
+using core::KernelRepository;
+
+namespace {
+
+TEST(KernelRepository, StoresOneVersionPerRepresentative) {
+  Cogent Generator(gpu::makeV100());
+  KernelRepository Repo(Generator, "ij-ik-kj");
+  ASSERT_TRUE(Repo.addRepresentativeUniform(64).hasValue());
+  ASSERT_TRUE(Repo.addRepresentativeUniform(2048).hasValue());
+  EXPECT_EQ(Repo.numVersions(), 2u);
+  EXPECT_EQ(Repo.spec(), "ij-ik-kj");
+}
+
+TEST(KernelRepository, RejectsMalformedSpec) {
+  Cogent Generator(gpu::makeV100());
+  KernelRepository Repo(Generator, "ij-ik");
+  EXPECT_FALSE(Repo.addRepresentativeUniform(64).hasValue());
+}
+
+TEST(KernelRepository, SelectsNearestRepresentative) {
+  Cogent Generator(gpu::makeV100());
+  KernelRepository Repo(Generator, "ij-ik-kj");
+  ASSERT_TRUE(Repo.addRepresentativeUniform(64).hasValue());
+  ASSERT_TRUE(Repo.addRepresentativeUniform(2048).hasValue());
+
+  auto uniform = [](int64_t Extent) {
+    return std::vector<std::pair<char, int64_t>>{
+        {'i', Extent}, {'j', Extent}, {'k', Extent}};
+  };
+  EXPECT_EQ(Repo.selectFor(uniform(80)).RepresentativeExtents,
+            uniform(64));
+  EXPECT_EQ(Repo.selectFor(uniform(1500)).RepresentativeExtents,
+            uniform(2048));
+  // Log-space midpoint of 64 and 2048 is ~362; below goes small.
+  EXPECT_EQ(Repo.selectFor(uniform(300)).RepresentativeExtents,
+            uniform(64));
+  EXPECT_EQ(Repo.selectFor(uniform(420)).RepresentativeExtents,
+            uniform(2048));
+}
+
+TEST(KernelRepository, VersionsDifferWhenSizesDemandIt) {
+  // A tiny and a large representative should tune differently (the tiny
+  // one cannot afford 16-wide tiles on an extent-8 index).
+  Cogent Generator(gpu::makeV100());
+  KernelRepository Repo(Generator, "ij-ik-kj");
+  ASSERT_TRUE(Repo.addRepresentativeUniform(8).hasValue());
+  ASSERT_TRUE(Repo.addRepresentativeUniform(4096).hasValue());
+  EXPECT_NE(Repo.version(0).Kernel.Config.toString(),
+            Repo.version(1).Kernel.Config.toString());
+}
+
+TEST(KernelRepository, PerIndexExtentsSupported) {
+  Cogent Generator(gpu::makeV100());
+  KernelRepository Repo(Generator, "ij-ik-kj");
+  std::vector<std::pair<char, int64_t>> Skewed = {
+      {'i', 4096}, {'j', 16}, {'k', 256}};
+  ASSERT_TRUE(Repo.addRepresentative(Skewed).hasValue());
+  EXPECT_EQ(Repo.selectFor(Skewed).RepresentativeExtents, Skewed);
+}
+
+TEST(RefineTopK, MeasuresEveryCandidate) {
+  Cogent Generator(gpu::makeV100());
+  ErrorOr<ir::Contraction> TC =
+      ir::Contraction::parseUniform("abcd-aebf-dfce", 24);
+  ASSERT_TRUE(TC.hasValue());
+  CogentOptions Options;
+  Options.TopK = 6;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(*TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+
+  gpu::RefinementResult Refined = gpu::refineTopKBySimulation(
+      *TC, *Result, gpu::makeV100(), 8, /*MeasureExtent=*/8);
+  ASSERT_EQ(Refined.Candidates.size(), Result->Kernels.size());
+  for (const gpu::MeasuredCandidate &Candidate : Refined.Candidates) {
+    EXPECT_GT(Candidate.MeasuredGflops, 0.0);
+    EXPECT_GT(Candidate.ExactTransactions, 0u);
+  }
+  EXPECT_LT(Refined.WinnerIndex, Result->Kernels.size());
+  // The winner really is the measured argmax.
+  for (const gpu::MeasuredCandidate &Candidate : Refined.Candidates)
+    EXPECT_LE(Candidate.MeasuredGflops,
+              Refined.Candidates[Refined.WinnerIndex].MeasuredGflops);
+}
+
+TEST(RefineTopK, ConfirmedFlagMatchesWinner) {
+  Cogent Generator(gpu::makeV100());
+  ErrorOr<ir::Contraction> TC =
+      ir::Contraction::parseUniform("abcdef-gdab-efgc", 16);
+  ASSERT_TRUE(TC.hasValue());
+  CogentOptions Options;
+  Options.TopK = 4;
+  ErrorOr<core::GenerationResult> Result = Generator.generate(*TC, Options);
+  ASSERT_TRUE(Result.hasValue());
+  gpu::RefinementResult Refined = gpu::refineTopKBySimulation(
+      *TC, *Result, gpu::makeV100(), 8, /*MeasureExtent=*/6);
+  EXPECT_EQ(Refined.ModelPickConfirmed, Refined.WinnerIndex == 0);
+}
+
+} // namespace

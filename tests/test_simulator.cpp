@@ -1,0 +1,232 @@
+//===- tests/test_simulator.cpp - Kernel simulator vs reference -----------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central correctness property of the whole system: every kernel
+/// configuration the enumerator produces, when executed by the functional
+/// simulator (which interprets exactly the schedule the CUDA emitter
+/// encodes), must reproduce the reference contraction. Sweeps hand-picked
+/// configs, enumerated configs, and randomized contractions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "core/Enumerator.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using core::IndexTile;
+using core::KernelConfig;
+using core::KernelPlan;
+using ir::Contraction;
+using ir::Operand;
+using tensor::Tensor;
+
+namespace {
+
+Contraction parse(const std::string &Spec, int64_t Extent) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform(Spec, Extent);
+  EXPECT_TRUE(TC.hasValue()) << Spec;
+  return *TC;
+}
+
+/// Runs one config through the simulator and checks against the oracle.
+void expectSimMatchesReference(const Contraction &TC,
+                               const KernelConfig &Config) {
+  ASSERT_EQ(Config.validate(TC), "") << Config.toString();
+  KernelPlan Plan(TC, Config);
+
+  Rng Generator(42);
+  Tensor<double> A = tensor::makeOperand<double>(TC, Operand::A);
+  Tensor<double> B = tensor::makeOperand<double>(TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+
+  Tensor<double> Expected = tensor::makeOperand<double>(TC, Operand::C);
+  tensor::contractReference(TC, Expected, A, B);
+
+  Tensor<double> Actual = tensor::makeOperand<double>(TC, Operand::C);
+  gpu::SimResult Sim = gpu::simulateKernel(Plan, Actual, A, B);
+
+  EXPECT_LT(tensor::maxAbsDifference(Expected, Actual), 1e-10)
+      << TC.toString() << " with " << Config.toString();
+  EXPECT_GT(Sim.totalTransactions(), 0u);
+}
+
+TEST(Simulator, Eq1HandPickedConfig) {
+  // The paper's running example with the Fig. 2-style mapping.
+  Contraction TC = parse("abcd-aebf-dfce", 8);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 8}};
+  Config.TBy = {{'c', 8}};
+  Config.RegX = {{'b', 4}};
+  Config.RegY = {{'d', 4}};
+  Config.TBk = {{'e', 4}};
+  expectSimMatchesReference(TC, Config);
+}
+
+TEST(Simulator, Eq1PartialTiles) {
+  // Extents that do not divide the tiles exercise every guard.
+  ErrorOr<Contraction> TC = Contraction::parse(
+      "abcd-aebf-dfce",
+      {{'a', 7}, {'b', 5}, {'c', 9}, {'d', 3}, {'e', 6}, {'f', 2}});
+  ASSERT_TRUE(TC.hasValue());
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 4}};
+  Config.TBy = {{'c', 4}};
+  Config.RegX = {{'b', 2}};
+  Config.RegY = {{'d', 2}};
+  Config.TBk = {{'e', 4}, {'f', 2}};
+  expectSimMatchesReference(*TC, Config);
+}
+
+TEST(Simulator, MatrixMultiply) {
+  // Plain GEMM as a contraction: C[i,j] = A[i,k] * B[k,j].
+  Contraction TC = parse("ij-ik-kj", 16);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'i', 8}};
+  Config.TBy = {{'j', 8}};
+  Config.TBk = {{'k', 8}};
+  expectSimMatchesReference(TC, Config);
+}
+
+TEST(Simulator, OuterProductNoInternals) {
+  // No contraction indices at all: C[i,j] = A[i] * B[j].
+  Contraction TC = parse("ij-i-j", 12);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'i', 4}};
+  Config.TBy = {{'j', 4}};
+  expectSimMatchesReference(TC, Config);
+}
+
+TEST(Simulator, OutputFviInB) {
+  // The output's FVI lives in B, so the X side is B.
+  Contraction TC = parse("abcd-ebcd-ea", 6);
+  KernelConfig Config;
+  Config.XInput = Operand::B;
+  Config.TBx = {{'a', 6}};
+  Config.TBy = {{'b', 6}};
+  Config.RegY = {{'c', 3}};
+  Config.TBk = {{'e', 6}};
+  expectSimMatchesReference(TC, Config);
+}
+
+TEST(Simulator, UnmappedExternalsIterateOnGrid) {
+  Contraction TC = parse("abc-acd-db", 6);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 3}};
+  Config.TBy = {{'b', 2}};
+  Config.TBk = {{'d', 3}};
+  // 'c' stays unmapped: one grid tile per value.
+  expectSimMatchesReference(TC, Config);
+}
+
+/// Every enumerated configuration for a handful of structurally different
+/// contractions must execute correctly.
+class EnumeratedConfigs : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(EnumeratedConfigs, AllMatchReference) {
+  Contraction TC = parse(GetParam(), 6);
+  gpu::DeviceSpec Device = gpu::makeV100();
+  core::EnumerationOptions Options;
+  Options.MinThreadBlocks = 1;
+  Options.MinOccupancy = 0.0;
+  core::Enumerator Enum(TC, Device, Options);
+  std::vector<KernelConfig> Configs = Enum.enumerate();
+  ASSERT_FALSE(Configs.empty());
+  // Cap the sweep to keep runtime sane; configs are deterministic.
+  size_t Stride = std::max<size_t>(1, Configs.size() / 40);
+  for (size_t I = 0; I < Configs.size(); I += Stride)
+    expectSimMatchesReference(TC, Configs[I]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnumeratedConfigs,
+                         ::testing::Values("abcd-aebf-dfce", // Eq. 1
+                                           "ij-ik-kj",       // GEMM
+                                           "abc-bda-dc",     // ML
+                                           "abcd-ebcd-ea",   // FVI in B
+                                           "abcdef-gdab-efgc", // SD2_1
+                                           "ab-acd-dbc"));
+
+/// Randomized contraction structures: random index distribution between
+/// the tensors, random extents, first enumerated config.
+TEST(Simulator, RandomizedContractions) {
+  Rng Generator(7);
+  gpu::DeviceSpec Device = gpu::makeV100();
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    // Build a random valid contraction: 2-4 externals, 1-2 internals.
+    int NumExt = static_cast<int>(Generator.uniformInt(2, 4));
+    int NumInt = static_cast<int>(Generator.uniformInt(1, 2));
+    std::string CStr, AStr, BStr;
+    std::vector<std::pair<char, int64_t>> Extents;
+    char Next = 'a';
+    for (int I = 0; I < NumExt; ++I) {
+      char Name = Next++;
+      CStr += Name;
+      (Generator.flip() ? AStr : BStr) += Name;
+      Extents.emplace_back(Name, Generator.uniformInt(2, 7));
+    }
+    for (int I = 0; I < NumInt; ++I) {
+      char Name = Next++;
+      AStr += Name;
+      BStr += Name;
+      Extents.emplace_back(Name, Generator.uniformInt(2, 7));
+    }
+    if (AStr.empty() || BStr.empty())
+      continue; // all externals fell on one side and C FVI needs an owner
+    // Shuffle orders so FVIs vary.
+    std::shuffle(AStr.begin(), AStr.end(), Generator.engine());
+    std::shuffle(BStr.begin(), BStr.end(), Generator.engine());
+    std::string Spec = CStr + "-" + AStr + "-" + BStr;
+    ErrorOr<Contraction> TC = Contraction::parse(Spec, Extents);
+    ASSERT_TRUE(TC.hasValue()) << Spec;
+
+    core::EnumerationOptions Options;
+    Options.MinThreadBlocks = 1;
+    Options.MinOccupancy = 0.0;
+    core::Enumerator Enum(*TC, Device, Options);
+    std::vector<KernelConfig> Configs = Enum.enumerate();
+    ASSERT_FALSE(Configs.empty()) << Spec;
+    expectSimMatchesReference(*TC, Configs.front());
+    expectSimMatchesReference(*TC, Configs.back());
+  }
+}
+
+/// Float path.
+TEST(Simulator, SinglePrecision) {
+  Contraction TC = parse("abcd-aebf-dfce", 6);
+  KernelConfig Config;
+  Config.XInput = Operand::A;
+  Config.TBx = {{'a', 4}};
+  Config.TBy = {{'c', 4}};
+  Config.RegX = {{'b', 2}};
+  Config.RegY = {{'d', 2}};
+  Config.TBk = {{'e', 3}};
+  KernelPlan Plan(TC, Config);
+
+  Rng Generator(11);
+  Tensor<float> A = tensor::makeOperand<float>(TC, Operand::A);
+  Tensor<float> B = tensor::makeOperand<float>(TC, Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  Tensor<float> Expected = tensor::makeOperand<float>(TC, Operand::C);
+  tensor::contractReference(TC, Expected, A, B);
+  Tensor<float> Actual = tensor::makeOperand<float>(TC, Operand::C);
+  gpu::simulateKernel(Plan, Actual, A, B);
+  EXPECT_LT(tensor::maxAbsDifference(Expected, Actual), 1e-3);
+}
+
+} // namespace

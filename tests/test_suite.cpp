@@ -1,0 +1,117 @@
+//===- tests/test_suite.cpp - TCCG suite structure tests -------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/TccgSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cogent;
+using namespace cogent::suite;
+using ir::Operand;
+
+namespace {
+
+TEST(TccgSuite, FortyEightEntriesWithSequentialIds) {
+  const std::vector<SuiteEntry> &Suite = tccgSuite();
+  ASSERT_EQ(Suite.size(), 48u);
+  for (size_t I = 0; I < Suite.size(); ++I)
+    EXPECT_EQ(Suite[I].Id, static_cast<int>(I) + 1);
+}
+
+TEST(TccgSuite, FamilySizesMatchThePaper) {
+  // 8 ML, 3 AO-MO, 19 CCSD, 18 CCSD(T) (paper §V).
+  EXPECT_EQ(suiteByCategory(Category::MachineLearning).size(), 8u);
+  EXPECT_EQ(suiteByCategory(Category::AoMoTransform).size(), 3u);
+  EXPECT_EQ(suiteByCategory(Category::Ccsd).size(), 19u);
+  EXPECT_EQ(suiteByCategory(Category::CcsdT).size(), 18u);
+}
+
+TEST(TccgSuite, FamiliesOccupyThePaperRanges) {
+  // 1-8 ML, 9-11 AO-MO, 12-30 CCSD, 31-48 CCSD(T), as in Figs. 4/5.
+  for (int Id = 1; Id <= 8; ++Id)
+    EXPECT_EQ(suiteEntry(Id).Cat, Category::MachineLearning);
+  for (int Id = 9; Id <= 11; ++Id)
+    EXPECT_EQ(suiteEntry(Id).Cat, Category::AoMoTransform);
+  for (int Id = 12; Id <= 30; ++Id)
+    EXPECT_EQ(suiteEntry(Id).Cat, Category::Ccsd);
+  for (int Id = 31; Id <= 48; ++Id)
+    EXPECT_EQ(suiteEntry(Id).Cat, Category::CcsdT);
+}
+
+TEST(TccgSuite, PaperQuotedSpecsVerbatim) {
+  // Eq. 1 is the 12th benchmark; SD2_1 (Fig. 8) is abcdef-gdab-efgc.
+  EXPECT_EQ(suiteEntry(12).Spec, "abcd-aebf-dfce");
+  EXPECT_EQ(suiteEntry(31).Spec, "abcdef-gdab-efgc");
+  EXPECT_EQ(suiteEntry(31).Name, "sd2_1");
+}
+
+TEST(TccgSuite, NoDuplicateSpecs) {
+  std::set<std::string> Seen;
+  for (const SuiteEntry &Entry : tccgSuite())
+    EXPECT_TRUE(Seen.insert(Entry.Spec).second)
+        << "duplicate spec " << Entry.Spec;
+}
+
+TEST(TccgSuite, EveryEntryParses) {
+  for (const SuiteEntry &Entry : tccgSuite()) {
+    ir::Contraction TC = Entry.contraction();
+    EXPECT_EQ(TC.toString(), Entry.Spec);
+    EXPECT_GT(TC.flopCount(), 0.0);
+  }
+}
+
+TEST(TccgSuite, CcsdTStructure) {
+  // Every CCSD(T) entry is a 6D = 4D * 4D contraction with exactly one
+  // contraction index, the NWChem triples shape.
+  for (const SuiteEntry &Entry : suiteByCategory(Category::CcsdT)) {
+    ir::Contraction TC = Entry.contraction();
+    EXPECT_EQ(TC.rank(Operand::C), 6u) << Entry.Spec;
+    EXPECT_EQ(TC.rank(Operand::A), 4u) << Entry.Spec;
+    EXPECT_EQ(TC.rank(Operand::B), 4u) << Entry.Spec;
+    EXPECT_EQ(TC.internalIndices().size(), 1u) << Entry.Spec;
+  }
+}
+
+TEST(TccgSuite, FourDEqualsFourDTimesFourDEntries) {
+  // The paper singles out the 12th and 20th-30th entries as 4D = 4D * 4D.
+  const int FourDIds[] = {12, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30};
+  for (int Id : FourDIds) {
+    ir::Contraction TC = suiteEntry(Id).contraction();
+    EXPECT_EQ(TC.rank(Operand::C), 4u) << Id;
+    EXPECT_EQ(TC.rank(Operand::A), 4u) << Id;
+    EXPECT_EQ(TC.rank(Operand::B), 4u) << Id;
+    EXPECT_EQ(TC.internalIndices().size(), 2u) << Id;
+  }
+}
+
+TEST(TccgSuite, Sd2SetHasNineEntries) {
+  std::vector<SuiteEntry> Sd2 = sd2Set();
+  ASSERT_EQ(Sd2.size(), 9u);
+  for (const SuiteEntry &Entry : Sd2) {
+    EXPECT_EQ(Entry.Cat, Category::CcsdT);
+    EXPECT_EQ(Entry.Name.rfind("sd2_", 0), 0u);
+  }
+}
+
+TEST(TccgSuite, ScalingClampsExtents) {
+  const SuiteEntry &Entry = suiteEntry(12); // extents 72
+  ir::Contraction Scaled = Entry.contractionScaled(6);
+  for (char Name : Scaled.allIndices())
+    EXPECT_LE(Scaled.extent(Name), 6);
+  ir::Contraction Unscaled = Entry.contractionScaled(1000);
+  EXPECT_EQ(Unscaled.extent('a'), 72);
+}
+
+TEST(TccgSuite, CategoryNames) {
+  EXPECT_STREQ(categoryName(Category::MachineLearning), "ML");
+  EXPECT_STREQ(categoryName(Category::AoMoTransform), "AO-MO");
+  EXPECT_STREQ(categoryName(Category::Ccsd), "CCSD");
+  EXPECT_STREQ(categoryName(Category::CcsdT), "CCSD(T)");
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+//===- tests/test_suite_data.cpp - Suite <-> data-file consistency ---------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Keeps data/tccg_suite.txt (the artifact-style human-readable listing of
+/// the benchmark inputs) in lockstep with the built-in suite. If either
+/// side changes without the other, this fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/TccgSuite.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace cogent;
+
+namespace {
+
+std::string findDataFile() {
+  // ctest runs from build/tests; direct runs may start elsewhere.
+  for (const char *Candidate :
+       {"../../data/tccg_suite.txt", "data/tccg_suite.txt",
+        "../data/tccg_suite.txt"}) {
+    std::ifstream Probe(Candidate);
+    if (Probe.good())
+      return Candidate;
+  }
+  return std::string();
+}
+
+TEST(SuiteData, FileMatchesBuiltInSuite) {
+  std::string Path = findDataFile();
+  if (Path.empty())
+    GTEST_SKIP() << "data/tccg_suite.txt not found from the test directory";
+
+  std::ifstream In(Path);
+  std::vector<std::vector<std::string>> Lines;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    Line = trim(Line);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    std::vector<std::string> Tokens;
+    std::string Token;
+    while (Fields >> Token)
+      Tokens.push_back(Token);
+    Lines.push_back(std::move(Tokens));
+  }
+
+  const std::vector<suite::SuiteEntry> &Suite = suite::tccgSuite();
+  ASSERT_EQ(Lines.size(), Suite.size());
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    const std::vector<std::string> &Tokens = Lines[I];
+    ASSERT_GE(Tokens.size(), 4u);
+    EXPECT_EQ(std::stoi(Tokens[0]), Suite[I].Id);
+    EXPECT_EQ(Tokens[1], Suite[I].Name);
+    EXPECT_EQ(Tokens[2], suite::categoryName(Suite[I].Cat));
+    EXPECT_EQ(Tokens[3], Suite[I].Spec);
+    // Per-index extents.
+    ASSERT_EQ(Tokens.size(), 4u + Suite[I].Extents.size());
+    for (size_t J = 0; J < Suite[I].Extents.size(); ++J) {
+      std::string Expected =
+          std::string(1, Suite[I].Extents[J].first) + "=" +
+          std::to_string(Suite[I].Extents[J].second);
+      EXPECT_EQ(Tokens[4 + J], Expected) << Suite[I].Name;
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+//===- tests/test_support.cpp - Support-library unit tests ----------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorOr.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+
+namespace {
+
+TEST(StringUtils, SplitBasic) {
+  std::vector<std::string> Pieces = split("abcd-aebf-dfce", '-');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "abcd");
+  EXPECT_EQ(Pieces[1], "aebf");
+  EXPECT_EQ(Pieces[2], "dfce");
+}
+
+TEST(StringUtils, SplitKeepsEmptyPieces) {
+  std::vector<std::string> Pieces = split("a--b", '-');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[1], "");
+}
+
+TEST(StringUtils, SplitNoSeparator) {
+  std::vector<std::string> Pieces = split("abc", '-');
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_EQ(Pieces[0], "abc");
+}
+
+TEST(StringUtils, SplitEmptyString) {
+  std::vector<std::string> Pieces = split("", '-');
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_EQ(Pieces[0], "");
+}
+
+TEST(StringUtils, JoinRoundTrip) {
+  std::vector<std::string> Pieces = {"abcd", "aebf", "dfce"};
+  EXPECT_EQ(join(Pieces, "-"), "abcd-aebf-dfce");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(join({"x"}, "-"), "x");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtils, Indent) {
+  EXPECT_EQ(indent(0), "");
+  EXPECT_EQ(indent(2), "    ");
+}
+
+TEST(ErrorOr, HoldsValue) {
+  ErrorOr<int> Result(42);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_EQ(*Result, 42);
+  EXPECT_TRUE(static_cast<bool>(Result));
+}
+
+TEST(ErrorOr, HoldsError) {
+  ErrorOr<int> Result = Error("something broke");
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_EQ(Result.errorMessage(), "something broke");
+}
+
+TEST(ErrorOr, MoveOnlyFriendly) {
+  ErrorOr<std::unique_ptr<int>> Result(std::make_unique<int>(7));
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_EQ(**Result, 7);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng GenA(123), GenB(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(GenA.uniformInt(0, 1000), GenB.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng Generator(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t Value = Generator.uniformInt(-3, 9);
+    EXPECT_GE(Value, -3);
+    EXPECT_LE(Value, 9);
+  }
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng Generator(7);
+  for (int I = 0; I < 1000; ++I) {
+    double Value = Generator.uniformReal(-1.0, 1.0);
+    EXPECT_GE(Value, -1.0);
+    EXPECT_LT(Value, 1.0);
+  }
+}
+
+TEST(Rng, FlipProbabilityRoughlyHolds) {
+  Rng Generator(99);
+  int Heads = 0;
+  for (int I = 0; I < 10000; ++I)
+    Heads += Generator.flip(0.25);
+  EXPECT_NEAR(Heads / 10000.0, 0.25, 0.03);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/test_tensor.cpp - Dense tensor + reference oracle tests -------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Reference.h"
+#include "tensor/Tensor.h"
+
+#include <gtest/gtest.h>
+
+using namespace cogent;
+using ir::Contraction;
+using ir::Operand;
+using tensor::Tensor;
+
+namespace {
+
+TEST(Tensor, ShapeAndStrides) {
+  Tensor<double> T({2, 3, 4});
+  EXPECT_EQ(T.rank(), 3u);
+  EXPECT_EQ(T.numElements(), 24);
+  EXPECT_EQ(T.strides(), (std::vector<int64_t>{1, 2, 6}));
+}
+
+TEST(Tensor, OffsetOfColumnMajor) {
+  Tensor<double> T({2, 3, 4});
+  EXPECT_EQ(T.offsetOf({0, 0, 0}), 0);
+  EXPECT_EQ(T.offsetOf({1, 0, 0}), 1);
+  EXPECT_EQ(T.offsetOf({0, 1, 0}), 2);
+  EXPECT_EQ(T.offsetOf({0, 0, 1}), 6);
+  EXPECT_EQ(T.offsetOf({1, 2, 3}), 1 + 4 + 18);
+}
+
+TEST(Tensor, ElementAccess) {
+  Tensor<double> T({2, 2});
+  T({1, 0}) = 3.5;
+  EXPECT_DOUBLE_EQ(T.at(1), 3.5);
+  EXPECT_DOUBLE_EQ(T({1, 0}), 3.5);
+}
+
+TEST(Tensor, FillSequentialMatchesLayout) {
+  Tensor<float> T({3, 2});
+  T.fillSequential();
+  EXPECT_FLOAT_EQ(T({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(T({2, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(T({0, 1}), 3.0f);
+}
+
+TEST(Tensor, FillRandomDeterministicAndZero) {
+  Rng GenA(5), GenB(5);
+  Tensor<double> X({4, 4}), Y({4, 4});
+  X.fillRandom(GenA);
+  Y.fillRandom(GenB);
+  EXPECT_EQ(tensor::maxAbsDifference(X, Y), 0.0);
+  X.fillZero();
+  EXPECT_EQ(X.sum(), 0.0);
+}
+
+TEST(Tensor, MaxAbsDifference) {
+  Tensor<double> X({2, 2}), Y({2, 2});
+  X({1, 1}) = 2.0;
+  Y({1, 1}) = -1.0;
+  EXPECT_DOUBLE_EQ(tensor::maxAbsDifference(X, Y), 3.0);
+}
+
+TEST(Odometer, WalksColumnMajorOrder) {
+  std::vector<int64_t> Shape = {2, 3};
+  std::vector<int64_t> Index(2, 0);
+  std::vector<std::vector<int64_t>> Seen;
+  do {
+    Seen.push_back(Index);
+  } while (tensor::advanceOdometer(Index, Shape));
+  ASSERT_EQ(Seen.size(), 6u);
+  EXPECT_EQ(Seen[0], (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(Seen[1], (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(Seen[2], (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(Seen[5], (std::vector<int64_t>{1, 2}));
+}
+
+TEST(Odometer, EmptyShapeTerminatesImmediately) {
+  std::vector<int64_t> Shape, Index;
+  EXPECT_FALSE(tensor::advanceOdometer(Index, Shape));
+}
+
+TEST(Reference, MatrixMultiplyHandComputed) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-ik-kj", 2);
+  ASSERT_TRUE(TC.hasValue());
+  Tensor<double> A = tensor::makeOperand<double>(*TC, Operand::A);
+  Tensor<double> B = tensor::makeOperand<double>(*TC, Operand::B);
+  // A = [1 3; 2 4] (column-major [i,k]), B = [5 7; 6 8].
+  A({0, 0}) = 1;
+  A({1, 0}) = 2;
+  A({0, 1}) = 3;
+  A({1, 1}) = 4;
+  B({0, 0}) = 5;
+  B({1, 0}) = 6;
+  B({0, 1}) = 7;
+  B({1, 1}) = 8;
+  Tensor<double> C = tensor::makeOperand<double>(*TC, Operand::C);
+  tensor::contractReference(*TC, C, A, B);
+  EXPECT_DOUBLE_EQ(C({0, 0}), 1 * 5 + 3 * 6);
+  EXPECT_DOUBLE_EQ(C({1, 0}), 2 * 5 + 4 * 6);
+  EXPECT_DOUBLE_EQ(C({0, 1}), 1 * 7 + 3 * 8);
+  EXPECT_DOUBLE_EQ(C({1, 1}), 2 * 7 + 4 * 8);
+}
+
+TEST(Reference, OuterProduct) {
+  ErrorOr<Contraction> TC = Contraction::parseUniform("ij-i-j", 3);
+  ASSERT_TRUE(TC.hasValue());
+  Tensor<double> A = tensor::makeOperand<double>(*TC, Operand::A);
+  Tensor<double> B = tensor::makeOperand<double>(*TC, Operand::B);
+  A.fillSequential();
+  B.fillSequential();
+  Tensor<double> C = tensor::makeOperand<double>(*TC, Operand::C);
+  tensor::contractReference(*TC, C, A, B);
+  for (int64_t I = 0; I < 3; ++I)
+    for (int64_t J = 0; J < 3; ++J)
+      EXPECT_DOUBLE_EQ(C({I, J}), static_cast<double>(I * J));
+}
+
+TEST(Reference, FullReductionToVector) {
+  // C[i] = sum_k A[i,k] * B[k]: a matrix-vector product.
+  ErrorOr<Contraction> TC = Contraction::parseUniform("i-ik-k", 3);
+  ASSERT_TRUE(TC.hasValue());
+  Tensor<double> A = tensor::makeOperand<double>(*TC, Operand::A);
+  Tensor<double> B = tensor::makeOperand<double>(*TC, Operand::B);
+  A.fillSequential(); // A[i,k] = i + 3k
+  B.fillSequential(); // B[k] = k
+  Tensor<double> C = tensor::makeOperand<double>(*TC, Operand::C);
+  tensor::contractReference(*TC, C, A, B);
+  for (int64_t I = 0; I < 3; ++I) {
+    double Expected = 0;
+    for (int64_t K = 0; K < 3; ++K)
+      Expected += (I + 3.0 * K) * K;
+    EXPECT_DOUBLE_EQ(C({I}), Expected);
+  }
+}
+
+TEST(Reference, PermutedOperandLayouts) {
+  // Same computation expressed with permuted A/B layouts must agree.
+  ErrorOr<Contraction> TC1 = Contraction::parseUniform("ij-ik-kj", 4);
+  ErrorOr<Contraction> TC2 = Contraction::parseUniform("ij-ki-jk", 4);
+  ASSERT_TRUE(TC1.hasValue() && TC2.hasValue());
+  Rng Generator(3);
+  Tensor<double> A1 = tensor::makeOperand<double>(*TC1, Operand::A);
+  Tensor<double> B1 = tensor::makeOperand<double>(*TC1, Operand::B);
+  A1.fillRandom(Generator);
+  B1.fillRandom(Generator);
+  // Mirror into the transposed layouts.
+  Tensor<double> A2 = tensor::makeOperand<double>(*TC2, Operand::A);
+  Tensor<double> B2 = tensor::makeOperand<double>(*TC2, Operand::B);
+  for (int64_t I = 0; I < 4; ++I)
+    for (int64_t K = 0; K < 4; ++K) {
+      A2({K, I}) = A1({I, K});
+      B2({I, K}) = B1({K, I}); // B2 is [j,k], B1 is [k,j]
+    }
+  Tensor<double> C1 = tensor::makeOperand<double>(*TC1, Operand::C);
+  Tensor<double> C2 = tensor::makeOperand<double>(*TC2, Operand::C);
+  tensor::contractReference(*TC1, C1, A1, B1);
+  tensor::contractReference(*TC2, C2, A2, B2);
+  EXPECT_LT(tensor::maxAbsDifference(C1, C2), 1e-12);
+}
+
+} // namespace
