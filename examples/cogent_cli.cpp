@@ -12,10 +12,15 @@
 /// Usage:
 ///   cogent_cli <C-A-B spec> [uniform-extent] [--device p100|v100]
 ///              [--fp32] [--topk N] [--opencl] [--double-buffer]
+///              [--max-configs N] [--deadline-ms X] [--max-source-bytes N]
 /// Examples:
 ///   cogent_cli abcd-aebf-dfce 72
 ///   cogent_cli abcdef-gdab-efgc 16 --device p100 --fp32
 ///   cogent_cli ij-ik-kj 4096 --opencl --double-buffer
+///
+/// Exit codes: 0 = success, 1 = the input was rejected with a diagnostic
+/// (printed to stderr as "error: <Code>: <context>: <message>"),
+/// 2 = usage error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +39,8 @@ static void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <C-A-B spec> [uniform-extent] "
                "[--device p100|v100] [--fp32] [--topk N] [--opencl] "
-               "[--double-buffer] [--explain]\n",
+               "[--double-buffer] [--explain] [--max-configs N] "
+               "[--deadline-ms X] [--max-source-bytes N]\n",
                Argv0);
 }
 
@@ -73,6 +79,13 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--topk" && I + 1 < Argc) {
       Options.TopK = static_cast<size_t>(std::atoll(Argv[++I]));
+    } else if (Arg == "--max-configs" && I + 1 < Argc) {
+      Options.Budget.MaxConfigs = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (Arg == "--deadline-ms" && I + 1 < Argc) {
+      Options.Budget.DeadlineMs = std::atof(Argv[++I]);
+    } else if (Arg == "--max-source-bytes" && I + 1 < Argc) {
+      Options.Budget.MaxSourceBytes =
+          static_cast<uint64_t>(std::atoll(Argv[++I]));
     } else if (Arg[0] != '-') {
       Extent = std::atoll(Arg.c_str());
       if (Extent <= 0) {
@@ -87,14 +100,15 @@ int main(int Argc, char **Argv) {
 
   ErrorOr<ir::Contraction> TC = ir::Contraction::parseUniform(Spec, Extent);
   if (!TC) {
-    std::fprintf(stderr, "error: %s\n", TC.errorMessage().c_str());
+    std::fprintf(stderr, "error: %s\n", TC.error().renderWithCode().c_str());
     return 1;
   }
 
   core::Cogent Generator(Device);
   ErrorOr<core::GenerationResult> Result = Generator.generate(*TC, Options);
   if (!Result) {
-    std::fprintf(stderr, "error: %s\n", Result.errorMessage().c_str());
+    std::fprintf(stderr, "error: %s\n",
+                 Result.error().renderWithCode().c_str());
     return 1;
   }
 
@@ -104,22 +118,40 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(Result->Stats.RawConfigs),
                static_cast<unsigned long long>(Result->Stats.Survivors),
                Result->ElapsedMs);
+  if (Result->Stats.truncated())
+    std::fprintf(stderr,
+                 "# warning: search truncated by budget (%s) after %llu of "
+                 "%llu candidates; ranking is best-effort\n",
+                 core::searchStatusName(Result->Stats.Status),
+                 static_cast<unsigned long long>(Result->Stats.Examined),
+                 static_cast<unsigned long long>(Result->Stats.RawConfigs));
+  if (Result->Fallback != core::FallbackLevel::None)
+    std::fprintf(stderr, "# warning: fallback level '%s' produced this "
+                         "kernel (no configuration survived the search)\n",
+                 core::fallbackLevelName(Result->Fallback));
+  if (Result->SourceTruncated)
+    std::fprintf(stderr, "# warning: emission stopped early by the source "
+                         "byte budget\n");
   for (size_t I = 0; I < Result->Kernels.size(); ++I) {
     const core::GeneratedKernel &Kernel = Result->Kernels[I];
     std::fprintf(stderr, "# rank %zu: %s  cost=%.3g  predicted=%.0f GFLOPS\n",
                  I + 1, Kernel.Config.toString().c_str(),
                  Kernel.Cost.total(), Kernel.Predicted.Gflops);
   }
+  // A TTGT-fallback kernel targets the matricized GEMM contraction, so all
+  // re-planning must use that, not the original spec.
+  const ir::Contraction &PlanTC =
+      Result->Fallback == core::FallbackLevel::TtgtBaseline
+          ? *Result->FallbackContraction
+          : *TC;
   if (Explain)
     std::fprintf(stderr, "%s\n",
-                 core::explainKernel(*TC, Result->best(), Device,
+                 core::explainKernel(PlanTC, Result->best(), Device,
                                      Options.ElementSize)
                      .c_str());
   if (UseOpenCl || UseDoubleBuffer) {
     // Re-emit the winning plan in the requested dialect/pipeline.
-    ErrorOr<ir::Contraction> Parsed =
-        ir::Contraction::parseUniform(Spec, Extent);
-    core::KernelPlan Plan(*Parsed, Result->best().Config);
+    core::KernelPlan Plan(PlanTC, Result->best().Config);
     core::CodeGenOptions CG;
     CG.ElementType = Options.ElementSize == 8 ? "double" : "float";
     CG.DoubleBuffer = UseDoubleBuffer;

@@ -9,6 +9,14 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Fuzz smoke test under AddressSanitizer + UBSan: the whole-pipeline fuzz
+# harness re-runs in an instrumented tree so memory errors and signed
+# overflow surface even when the uninstrumented asserts stay quiet.
+cmake -B build-asan -G Ninja -DCOGENT_SANITIZE=ON
+cmake --build build-asan --target test_fuzz_pipeline
+ctest --test-dir build-asan -R test_fuzz_pipeline --output-on-failure \
+  2>&1 | tee asan_output.txt
+
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then

@@ -16,17 +16,112 @@ using namespace cogent;
 using namespace cogent::core;
 using cogent::ir::Contraction;
 
+const char *cogent::core::fallbackLevelName(FallbackLevel Level) {
+  switch (Level) {
+  case FallbackLevel::None:
+    return "none";
+  case FallbackLevel::MinimalTile:
+    return "minimal-tile";
+  case FallbackLevel::TtgtBaseline:
+    return "ttgt";
+  }
+  assert(false && "unknown fallback level");
+  return "?";
+}
+
+namespace {
+
+/// Fallback level 1: a directly constructed configuration — the output FVI
+/// on TBx with the largest power-of-two tile the device accepts, nothing
+/// else mapped, 1x1 register tiles. Structurally valid for every
+/// well-formed contraction; returns false only when even the one-thread
+/// variant exceeds the device's hardware limits.
+bool buildMinimalConfig(const Contraction &TC, const gpu::DeviceSpec &Device,
+                        unsigned ElementSize, KernelConfig *Out) {
+  char OutFvi = TC.fvi(ir::Operand::C);
+  for (int64_t Tile : {int64_t(32), int64_t(16), int64_t(8), int64_t(4),
+                       int64_t(2), int64_t(1)}) {
+    KernelConfig Config;
+    Config.XInput = TC.inputContaining(OutFvi);
+    Config.TBx = {{OutFvi, std::min<int64_t>(TC.extent(OutFvi), Tile)}};
+    assert(Config.validate(TC).empty() && "minimal config must validate");
+    if (Config.threadsPerBlock() > Device.MaxThreadsPerBlock ||
+        Config.smemBytes(ElementSize) >
+            static_cast<int64_t>(Device.SharedMemPerBlock) ||
+        Config.registersPerThread(ElementSize) > Device.MaxRegistersPerThread)
+      continue;
+    *Out = std::move(Config);
+    return true;
+  }
+  return false;
+}
+
+/// Fallback level 2: the TTGT evaluation plan. The contraction is
+/// matricized exactly as baselines::planTtgt does — externals of A fuse
+/// into M, externals of B into N, internals into K — yielding the GEMM
+/// contraction "ab-ac-cb" (a=M, b=N, c=K; extent-1 dimensions keep the
+/// spec well-formed when a side is empty). The kernel emitted for it is a
+/// reference schedule; a production runtime would hand this plan to
+/// transpose + library GEMM, which is why no device hardware check is
+/// applied here: this rung must never fail.
+Contraction buildTtgtGemm(const Contraction &TC) {
+  int64_t M = 1, N = 1, K = 1;
+  for (char Name : TC.allIndices()) {
+    switch (TC.kindOf(Name)) {
+    case ir::IndexKind::ExternalA:
+      M *= TC.extent(Name);
+      break;
+    case ir::IndexKind::ExternalB:
+      N *= TC.extent(Name);
+      break;
+    case ir::IndexKind::Internal:
+      K *= TC.extent(Name);
+      break;
+    }
+  }
+  ErrorOr<Contraction> Gemm =
+      Contraction::parse("ab-ac-cb", {{'a', M}, {'b', N}, {'c', K}});
+  assert(Gemm.hasValue() && "matricized GEMM of a valid contraction must "
+                            "be valid");
+  return *Gemm;
+}
+
+} // namespace
+
 ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
                                            CogentOptions Options) const {
   auto Start = std::chrono::steady_clock::now();
 
   Options.Enumeration.ElementSize = Options.ElementSize;
+  Options.Enumeration.MaxConfigs = Options.Budget.MaxConfigs;
+  Options.Enumeration.DeadlineMs = Options.Budget.DeadlineMs;
   Enumerator Enum(TC, Device, Options.Enumeration);
   GenerationResult Result;
   std::vector<KernelConfig> Configs = Enum.enumerate(&Result.Stats);
+
+  // The guaranteed-fallback chain: pruned search -> minimal tiles -> TTGT.
+  const Contraction *EmitTC = &TC;
+  if (Configs.empty()) {
+    KernelConfig Minimal;
+    if (buildMinimalConfig(TC, Device, Options.ElementSize, &Minimal)) {
+      Result.Fallback = FallbackLevel::MinimalTile;
+      Configs.push_back(std::move(Minimal));
+    } else {
+      Result.Fallback = FallbackLevel::TtgtBaseline;
+      Result.FallbackContraction = buildTtgtGemm(TC);
+      EmitTC = &*Result.FallbackContraction;
+      char GemmFvi = EmitTC->fvi(ir::Operand::C);
+      KernelConfig Gemm;
+      Gemm.XInput = EmitTC->inputContaining(GemmFvi);
+      Gemm.TBx = {{GemmFvi, 1}};
+      assert(Gemm.validate(*EmitTC).empty());
+      Configs.push_back(std::move(Gemm));
+    }
+  }
   if (Configs.empty())
-    return Error("no valid kernel configuration for contraction " +
-                 TC.toString());
+    return Error(ErrorCode::NoValidConfig,
+                 "no valid kernel configuration for contraction " +
+                     TC.toString());
 
   // Rank every surviving configuration by modeled DRAM transactions;
   // tie-break toward higher occupancy, then more threads (determinism).
@@ -38,7 +133,7 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
   std::vector<Ranked> Ranking;
   Ranking.reserve(Configs.size());
   for (KernelConfig &Config : Configs) {
-    KernelPlan Plan(TC, Config);
+    KernelPlan Plan(*EmitTC, Config);
     Ranked R;
     R.Cost = estimateTransactions(Plan, Options.ElementSize,
                                   Device.TransactionBytes);
@@ -60,17 +155,28 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
   gpu::Calibration Calib = gpu::makeCalibration(Device);
   CodeGenOptions CGOptions;
   CGOptions.ElementType = Options.ElementSize == 8 ? "double" : "float";
+  uint64_t SourceBytes = 0;
   for (size_t I = 0; I < Keep; ++I) {
+    // The byte budget truncates the tail, never the head: one kernel is
+    // always materialized.
+    if (I > 0 && Options.Budget.MaxSourceBytes != 0 &&
+        SourceBytes >= Options.Budget.MaxSourceBytes) {
+      Result.SourceTruncated = true;
+      break;
+    }
     GeneratedKernel Kernel;
     Kernel.Config = Ranking[I].Config;
     Kernel.Cost = Ranking[I].Cost;
     Kernel.Occupancy = Ranking[I].Occ;
-    KernelPlan Plan(TC, Kernel.Config);
+    KernelPlan Plan(*EmitTC, Kernel.Config);
     Kernel.Source = emitCuda(Plan, CGOptions);
     Kernel.Predicted = gpu::estimateKernelTime(
         Device, Calib, makeKernelProfile(Plan, Device, Options.ElementSize));
+    SourceBytes += Kernel.Source.KernelSource.size() +
+                   Kernel.Source.DriverSource.size();
     Result.Kernels.push_back(std::move(Kernel));
   }
+  assert(!Result.Kernels.empty() && "generation must materialize a kernel");
 
   auto End = std::chrono::steady_clock::now();
   Result.ElapsedMs =
@@ -142,6 +248,6 @@ Cogent::generate(const std::string &Spec,
                  CogentOptions Options) const {
   ErrorOr<Contraction> TC = Contraction::parse(Spec, Extents);
   if (!TC)
-    return Error(TC.errorMessage());
+    return TC.takeError().withContext("parsing contraction \"" + Spec + "\"");
   return generate(*TC, std::move(Options));
 }

@@ -21,13 +21,30 @@
 #include "core/KernelConfig.h"
 #include "gpu/DeviceSpec.h"
 #include "gpu/PerfModel.h"
-#include "support/ErrorOr.h"
+#include "support/Diagnostics.h"
 
+#include <cassert>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace cogent {
 namespace core {
+
+/// Caller-imposed resource limits for one generation run. All zero (the
+/// default) means unlimited. Budgets degrade gracefully: hitting one never
+/// fails the run, it truncates the search/emission and flags the result
+/// (EnumerationStats::Status, GenerationResult::SourceTruncated).
+struct GenerationBudget {
+  /// Maximum full configurations the enumerator may examine.
+  uint64_t MaxConfigs = 0;
+  /// Wall-clock deadline for the enumeration loop, milliseconds.
+  double DeadlineMs = 0.0;
+  /// Cap on total emitted source bytes across the top-K kernels. At least
+  /// one kernel is always emitted (the never-empty guarantee outranks the
+  /// byte cap).
+  uint64_t MaxSourceBytes = 0;
+};
 
 /// Options for one generation run.
 struct CogentOptions {
@@ -36,9 +53,28 @@ struct CogentOptions {
   /// How many top-ranked kernels to materialize (the paper auto-tunes among
   /// a small model-selected set; 1 = pure model-driven choice).
   size_t TopK = 1;
+  /// Resource limits; synced into Enumeration by generate().
+  GenerationBudget Budget;
   /// Enumeration knobs; ElementSize is synced from above.
   EnumerationOptions Enumeration;
 };
+
+/// Which rung of the guaranteed-fallback chain produced the result.
+enum class FallbackLevel {
+  /// The normal enumerate -> rank -> emit pipeline.
+  None,
+  /// Enumeration (even relaxed) found nothing; a minimal thread-block
+  /// configuration with 1x1 register tiles was constructed directly.
+  MinimalTile,
+  /// Even the minimal configuration violates the device's limits; the
+  /// result is the TTGT evaluation plan: a kernel for the matricized GEMM
+  /// (spec "ab-ac-cb" over fused extents M/N/K), to be executed via
+  /// transpose + library-GEMM the way TAL_SH would.
+  TtgtBaseline,
+};
+
+/// "none", "minimal-tile" or "ttgt".
+const char *fallbackLevelName(FallbackLevel Level);
 
 /// One materialized kernel: its mapping, emitted source and model outputs.
 struct GeneratedKernel {
@@ -51,15 +87,32 @@ struct GeneratedKernel {
 
 /// Result of Cogent::generate.
 struct GenerationResult {
-  /// Ranked best-first by modeled transaction cost.
+  /// Ranked best-first by modeled transaction cost. Non-empty whenever
+  /// generate() returned a value (the fallback chain guarantees it).
   std::vector<GeneratedKernel> Kernels;
   EnumerationStats Stats;
+  /// Which fallback rung fired; None on the normal path. When TtgtBaseline,
+  /// the kernels target FallbackContraction (the matricized GEMM), not the
+  /// original contraction.
+  FallbackLevel Fallback = FallbackLevel::None;
+  /// The matricized GEMM contraction backing a TtgtBaseline result.
+  std::optional<ir::Contraction> FallbackContraction;
+  /// True when GenerationBudget::MaxSourceBytes stopped emission before
+  /// TopK kernels were materialized.
+  bool SourceTruncated = false;
   /// Wall-clock spent enumerating + ranking + emitting, milliseconds (the
   /// paper's model-driven search takes seconds where TC's autotuner takes
   /// hours).
   double ElapsedMs = 0.0;
 
-  const GeneratedKernel &best() const { return Kernels.front(); }
+  bool empty() const { return Kernels.empty(); }
+
+  /// The top-ranked kernel. \pre !empty(); calling this on an empty result
+  /// is a programming error (it was undefined behavior before the assert).
+  const GeneratedKernel &best() const {
+    assert(!Kernels.empty() && "best() on an empty GenerationResult");
+    return Kernels.front();
+  }
 };
 
 /// The code generator, bound to one target device.
@@ -70,8 +123,10 @@ public:
   const gpu::DeviceSpec &device() const { return Device; }
 
   /// Runs enumeration, cost-model ranking and code emission for \p TC.
-  /// Fails only for contractions with no valid configuration (never the
-  /// case for well-formed inputs).
+  /// Never returns an empty result for a well-formed contraction: when the
+  /// pruned search comes up empty the fallback chain degrades to a minimal
+  /// 1x1-register-tile configuration and, if even that exceeds the device,
+  /// to the TTGT baseline plan — see GenerationResult::Fallback.
   ErrorOr<GenerationResult> generate(const ir::Contraction &TC,
                                      CogentOptions Options =
                                          CogentOptions()) const;

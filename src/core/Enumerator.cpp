@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <string>
@@ -218,6 +219,19 @@ Enumerator::Enumerator(const Contraction &TCIn,
     Options.MinThreadBlocks = 2 * static_cast<int64_t>(Device.NumSMs);
 }
 
+const char *cogent::core::searchStatusName(SearchStatus Status) {
+  switch (Status) {
+  case SearchStatus::Complete:
+    return "complete";
+  case SearchStatus::ConfigCapHit:
+    return "config-cap";
+  case SearchStatus::DeadlineHit:
+    return "deadline";
+  }
+  assert(false && "unknown search status");
+  return "?";
+}
+
 double Enumerator::naiveSearchSpace(const Contraction &TC) {
   double NumExternal = static_cast<double>(TC.externalIndices().size());
   double NumInternal = static_cast<double>(TC.internalIndices().size());
@@ -290,9 +304,34 @@ Enumerator::enumerate(EnumerationStats *Stats) const {
   std::vector<KernelConfig> Survivors;
   std::vector<KernelConfig> PerfPrunedOnly; // for relaxation
 
+  // Cooperative budget checks: the candidate cap is tested per config, the
+  // deadline every DeadlineStride configs (a steady_clock read per
+  // candidate would dominate small enumerations).
+  auto StartTime = std::chrono::steady_clock::now();
+  constexpr uint64_t DeadlineStride = 256;
+  auto budgetStop = [&]() -> bool {
+    if (Options.MaxConfigs != 0 && Local.Examined >= Options.MaxConfigs) {
+      Local.Status = SearchStatus::ConfigCapHit;
+      return true;
+    }
+    if (Options.DeadlineMs > 0.0 && Local.Examined % DeadlineStride == 0) {
+      double ElapsedMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - StartTime)
+                             .count();
+      if (ElapsedMs > Options.DeadlineMs) {
+        Local.Status = SearchStatus::DeadlineHit;
+        return true;
+      }
+    }
+    return false;
+  };
+
   for (const PartialConfig &X : XPartials) {
     for (const PartialConfig &Y : YPartials) {
       for (const PartialConfig &K : KPartials) {
+        if (budgetStop())
+          goto searchDone;
+        ++Local.Examined;
         KernelConfig Config;
         Config.XInput = XInput;
         Config.TBx = X.TB;
@@ -343,6 +382,7 @@ Enumerator::enumerate(EnumerationStats *Stats) const {
     }
   }
 
+searchDone:
   Local.Survivors = Survivors.size();
   if (Stats)
     *Stats = Local;

@@ -43,7 +43,25 @@ struct EnumerationOptions {
   /// When pruning removes every candidate (tiny problems), progressively
   /// relax performance constraints instead of failing.
   bool RelaxWhenEmpty = true;
+  /// Cooperative resource budget, synced from CogentOptions::Budget by
+  /// Cogent::generate. 0 = unlimited. MaxConfigs caps the number of full
+  /// configurations examined; DeadlineMs bounds the wall clock of the
+  /// enumeration loop (checked every few hundred candidates).
+  uint64_t MaxConfigs = 0;
+  double DeadlineMs = 0.0;
 };
+
+/// How an enumeration run ended: exhaustively, or cut short by a budget.
+enum class SearchStatus {
+  Complete,
+  /// Stopped after EnumerationOptions::MaxConfigs candidates.
+  ConfigCapHit,
+  /// Stopped when EnumerationOptions::DeadlineMs elapsed.
+  DeadlineHit,
+};
+
+/// "complete", "config-cap" or "deadline".
+const char *searchStatusName(SearchStatus Status);
 
 /// Bookkeeping for the paper's "around 97% of the configurations were
 /// pruned" statistic and the naive-search-space comparison.
@@ -55,6 +73,14 @@ struct EnumerationStats {
   uint64_t HardwarePruned = 0;
   uint64_t PerformancePruned = 0;
   uint64_t Survivors = 0;
+  /// Candidates actually examined; equals RawConfigs unless a budget fired.
+  uint64_t Examined = 0;
+  /// Whether (and why) the search stopped before covering RawConfigs. When
+  /// not Complete, the ranking is over a partial candidate set and callers
+  /// should treat the winner as best-effort.
+  SearchStatus Status = SearchStatus::Complete;
+
+  bool truncated() const { return Status != SearchStatus::Complete; }
 
   double prunedFraction() const {
     return RawConfigs == 0

@@ -18,7 +18,8 @@ ErrorOr<size_t> KernelRepository::addRepresentative(
   ErrorOr<GenerationResult> Result =
       Generator.generate(Spec, Extents, Options);
   if (!Result)
-    return Error(Result.errorMessage());
+    return Result.takeError().withContext("adding representative size");
+  assert(!Result->empty() && "generate() returned an empty kernel list");
   KernelVersion Version;
   Version.RepresentativeExtents = Extents;
   Version.Kernel = std::move(Result->Kernels.front());

@@ -6,6 +6,7 @@
 
 #include "ir/Contraction.h"
 
+#include "support/Checked.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -57,14 +58,15 @@ Contraction::parse(const std::string &Spec,
                    const std::vector<std::pair<char, int64_t>> &Extents) {
   std::vector<std::string> Parts = split(trim(Spec), '-');
   if (Parts.size() != 3)
-    return Error("contraction spec must have exactly three '-'-separated "
+    return Error(ErrorCode::InvalidSpec,
+                 "contraction spec must have exactly three '-'-separated "
                  "operands (C-A-B), got \"" +
                  Spec + "\"");
 
   for (unsigned I = 0; I < 3; ++I) {
     static const char *Names[] = {"C", "A", "B"};
     if (std::string Msg = checkOperandString(Parts[I], Names[I]); !Msg.empty())
-      return Error(Msg);
+      return Error(ErrorCode::InvalidSpec, Msg);
   }
 
   Contraction TC;
@@ -87,10 +89,10 @@ Contraction::parse(const std::string &Spec,
       continue;
     char Name = static_cast<char>('a' + S);
     if (Count == 1)
-      return Error(std::string("index '") + Name +
+      return Error(ErrorCode::InvalidSpec, std::string("index '") + Name +
                    "' appears in only one tensor");
     if (Count == 3)
-      return Error(std::string("index '") + Name +
+      return Error(ErrorCode::InvalidSpec, std::string("index '") + Name +
                    "' appears in all three tensors (batch/Hadamard indices "
                    "are not supported, as in the paper)");
     TC.Used26[S] = true;
@@ -105,33 +107,43 @@ Contraction::parse(const std::string &Spec,
   // Every index of C must have been matched by an input.
   for (char C : TC.CIdx)
     if (!TC.Used26[slot(C)])
-      return Error(std::string("output index '") + C +
+      return Error(ErrorCode::InvalidSpec, std::string("output index '") + C +
                    "' does not appear in any input");
 
   // Attach extents.
   for (const auto &[Name, Ext] : Extents) {
     if (!isValidIndexName(Name))
-      return Error(std::string("extent given for invalid index name '") +
+      return Error(ErrorCode::InvalidSpec,
+                   std::string("extent given for invalid index name '") +
                    Name + "'");
+    if (!TC.Used26[slot(Name)])
+      return Error(ErrorCode::InvalidSpec,
+                   std::string("extent given for index '") + Name +
+                   "' which does not appear in the contraction");
     if (Ext <= 0)
-      return Error(std::string("extent of index '") + Name +
-                   "' must be positive");
+      return Error(ErrorCode::InvalidSpec, std::string("extent of index '") +
+                   Name + "' must be positive");
     TC.Extent26[slot(Name)] = Ext;
   }
   for (int S = 0; S < 26; ++S)
     if (TC.Used26[S] && TC.Extent26[S] == 0)
-      return Error(std::string("no extent given for index '") +
+      return Error(ErrorCode::InvalidSpec,
+                   std::string("no extent given for index '") +
                    static_cast<char>('a' + S) + "'");
 
-  // Guard against element-count overflow: every operand's extent product
-  // must fit comfortably in int64 offsets.
+  // Guard against element-count overflow with exact checked arithmetic:
+  // every operand's extent product must fit in int64 offsets (with headroom
+  // so downstream grid/stride math cannot wrap either).
+  constexpr int64_t MaxElements = int64_t(1) << 61;
   for (Operand Op : {Operand::C, Operand::A, Operand::B}) {
-    double Product = 1.0;
-    for (char Name : TC.indices(Op))
-      Product *= static_cast<double>(TC.Extent26[slot(Name)]);
-    if (Product >= 4.0e18)
-      return Error(std::string("operand ") + operandName(Op) +
-                   " has more elements than a 64-bit offset can address");
+    int64_t Product = 1;
+    for (char Name : TC.indices(Op)) {
+      if (!checkedMulInt64(Product, TC.Extent26[slot(Name)], &Product) ||
+          Product > MaxElements)
+        return Error(ErrorCode::ExtentOverflow,
+                     std::string("operand ") + operandName(Op) +
+                     " has more elements than a 64-bit offset can address");
+    }
   }
 
   return TC;
@@ -207,7 +219,7 @@ int64_t Contraction::strideIn(Operand Op, char Name) const {
   for (char C : Idx) {
     if (C == Name)
       return Stride;
-    Stride *= extent(C);
+    Stride = checkedProductAssert(Stride, extent(C));
   }
   assert(false && "index not present in operand");
   return 0;
@@ -231,16 +243,19 @@ std::vector<char> Contraction::internalIndices() const {
 }
 
 int64_t Contraction::numElements(Operand Op) const {
+  // parse() bounds every operand's extent product, so overflow here would
+  // be an invariant violation, not an input condition; detect it anyway
+  // rather than silently wrapping.
   int64_t N = 1;
   for (char C : indices(Op))
-    N *= extent(C);
+    N = checkedProductAssert(N, extent(C));
   return N;
 }
 
 int64_t Contraction::internalExtent() const {
   int64_t N = 1;
   for (char C : internalIndices())
-    N *= extent(C);
+    N = checkedProductAssert(N, extent(C));
   return N;
 }
 

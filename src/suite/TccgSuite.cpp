@@ -6,8 +6,14 @@
 
 #include "suite/TccgSuite.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 using namespace cogent;
 using namespace cogent::suite;
@@ -27,18 +33,30 @@ const char *cogent::suite::categoryName(Category Cat) {
   return "?";
 }
 
+ErrorOr<ir::Contraction> SuiteEntry::tryContraction() const {
+  return std::move(ir::Contraction::parse(Spec, Extents))
+      .withContext("suite entry " + std::to_string(Id) + " (" + Name + ")");
+}
+
+ErrorOr<ir::Contraction>
+SuiteEntry::tryContractionScaled(int64_t MaxExtent) const {
+  std::vector<std::pair<char, int64_t>> Scaled = Extents;
+  for (auto &[Name, Extent] : Scaled)
+    Extent = std::min(Extent, MaxExtent);
+  return std::move(ir::Contraction::parse(Spec, Scaled))
+      .withContext("suite entry " + std::to_string(Id) + " (" + Name +
+                   ") scaled to " + std::to_string(MaxExtent));
+}
+
 ir::Contraction SuiteEntry::contraction() const {
-  ErrorOr<ir::Contraction> TC = ir::Contraction::parse(Spec, Extents);
-  assert(TC.hasValue() && "suite entry failed to parse");
+  ErrorOr<ir::Contraction> TC = tryContraction();
+  assert(TC.hasValue() && "built-in suite entry failed to parse");
   return *TC;
 }
 
 ir::Contraction SuiteEntry::contractionScaled(int64_t MaxExtent) const {
-  std::vector<std::pair<char, int64_t>> Scaled = Extents;
-  for (auto &[Name, Extent] : Scaled)
-    Extent = std::min(Extent, MaxExtent);
-  ErrorOr<ir::Contraction> TC = ir::Contraction::parse(Spec, Scaled);
-  assert(TC.hasValue() && "scaled suite entry failed to parse");
+  ErrorOr<ir::Contraction> TC = tryContractionScaled(MaxExtent);
+  assert(TC.hasValue() && "scaled built-in suite entry failed to parse");
   return *TC;
 }
 
@@ -162,4 +180,89 @@ std::vector<SuiteEntry> cogent::suite::sd2Set() {
     if (Entry.Name.rfind("sd2_", 0) == 0)
       Result.push_back(Entry);
   return Result;
+}
+
+ErrorOr<std::vector<SuiteEntry>>
+cogent::suite::parseSuiteListing(const std::string &Text) {
+  std::vector<SuiteEntry> Entries;
+  std::istringstream In(Text);
+  std::string RawLine;
+  int LineNo = 0;
+  while (std::getline(In, RawLine)) {
+    ++LineNo;
+    std::string Line = trim(RawLine);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    auto lineError = [&](ErrorCode Code, const std::string &Message) {
+      return Error(Code, Message)
+          .withContext("suite listing line " + std::to_string(LineNo));
+    };
+
+    std::istringstream Fields(Line);
+    std::vector<std::string> Tokens;
+    std::string Token;
+    while (Fields >> Token)
+      Tokens.push_back(Token);
+    if (Tokens.size() < 4)
+      return lineError(ErrorCode::InvalidSpec,
+                       "expected \"id name family spec extents...\", got "
+                       "only " + std::to_string(Tokens.size()) + " fields");
+
+    SuiteEntry Entry;
+    char *IdEnd = nullptr;
+    long Id = std::strtol(Tokens[0].c_str(), &IdEnd, 10);
+    if (IdEnd == Tokens[0].c_str() || *IdEnd != '\0' || Id <= 0)
+      return lineError(ErrorCode::InvalidSpec,
+                       "id field \"" + Tokens[0] +
+                       "\" is not a positive integer");
+    Entry.Id = static_cast<int>(Id);
+    Entry.Name = Tokens[1];
+
+    bool FamilyKnown = false;
+    for (Category Cat : {Category::MachineLearning, Category::AoMoTransform,
+                         Category::Ccsd, Category::CcsdT})
+      if (Tokens[2] == categoryName(Cat)) {
+        Entry.Cat = Cat;
+        FamilyKnown = true;
+      }
+    if (!FamilyKnown)
+      return lineError(ErrorCode::InvalidSpec,
+                       "unknown family \"" + Tokens[2] + "\"");
+
+    Entry.Spec = Tokens[3];
+    for (size_t I = 4; I < Tokens.size(); ++I) {
+      const std::string &Ext = Tokens[I];
+      char *ValueEnd = nullptr;
+      long long Value = 0;
+      if (Ext.size() >= 3 && Ext[1] == '=')
+        Value = std::strtoll(Ext.c_str() + 2, &ValueEnd, 10);
+      if (Ext.size() < 3 || Ext[1] != '=' || ValueEnd == Ext.c_str() + 2 ||
+          *ValueEnd != '\0')
+        return lineError(ErrorCode::InvalidSpec,
+                         "extent field \"" + Ext +
+                         "\" is not of the form x=N");
+      Entry.Extents.emplace_back(Ext[0], static_cast<int64_t>(Value));
+    }
+
+    // The entry must describe a well-formed contraction; reuse the parser
+    // so extent errors (zero, overflow, unknown index) surface here with
+    // the line number attached.
+    if (ErrorOr<ir::Contraction> TC = Entry.tryContraction(); !TC)
+      return TC.takeError().withContext("suite listing line " +
+                                        std::to_string(LineNo));
+    Entries.push_back(std::move(Entry));
+  }
+  return Entries;
+}
+
+ErrorOr<std::vector<SuiteEntry>>
+cogent::suite::loadSuiteFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In.good())
+    return Error(ErrorCode::InvalidSpec,
+                 "cannot read suite file \"" + Path + "\"");
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return std::move(parseSuiteListing(Text.str()))
+      .withContext("loading \"" + Path + "\"");
 }

@@ -1,0 +1,49 @@
+//===- support/Checked.h - Overflow-checked integer arithmetic ------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Overflow-detecting int64 helpers for extent/stride products. Tensor
+/// element counts are products of user-supplied extents, so wraparound is
+/// an *input* condition, not a programming error — it must surface as a
+/// typed diagnostic, never as silent two's-complement wrapping (UB for
+/// signed types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_SUPPORT_CHECKED_H
+#define COGENT_SUPPORT_CHECKED_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cogent {
+
+/// Computes X * Y into *Out; returns false (leaving *Out unspecified) when
+/// the product does not fit int64_t.
+inline bool checkedMulInt64(int64_t X, int64_t Y, int64_t *Out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return !__builtin_mul_overflow(X, Y, Out);
+#else
+  if (X != 0 && (Y > INT64_MAX / X || Y < INT64_MIN / X))
+    return false;
+  *Out = X * Y;
+  return true;
+#endif
+}
+
+/// Multiplies the positive factors of a product, asserting they were
+/// validated overflow-free beforehand (e.g. by Contraction::parse).
+inline int64_t checkedProductAssert(int64_t Acc, int64_t Factor) {
+  int64_t Out = 0;
+  bool Ok = checkedMulInt64(Acc, Factor, &Out);
+  assert(Ok && "extent product overflow past parse-time validation");
+  (void)Ok;
+  return Out;
+}
+
+} // namespace cogent
+
+#endif // COGENT_SUPPORT_CHECKED_H

@@ -1,0 +1,52 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace cogent;
+
+const char *cogent::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Unknown:
+    return "Unknown";
+  case ErrorCode::InvalidSpec:
+    return "InvalidSpec";
+  case ErrorCode::ExtentOverflow:
+    return "ExtentOverflow";
+  case ErrorCode::ResourceExhausted:
+    return "ResourceExhausted";
+  case ErrorCode::BudgetExceeded:
+    return "BudgetExceeded";
+  case ErrorCode::NoValidConfig:
+    return "NoValidConfig";
+  }
+  assert(false && "unknown error code");
+  return "?";
+}
+
+Error Error::withContext(std::string Frame) && {
+  Context_.insert(Context_.begin(), std::move(Frame));
+  return std::move(*this);
+}
+
+Error Error::withContext(std::string Frame) const & {
+  Error Copy = *this;
+  return std::move(Copy).withContext(std::move(Frame));
+}
+
+std::string Error::render() const {
+  std::string Out;
+  for (const std::string &Frame : Context_) {
+    Out += Frame;
+    Out += ": ";
+  }
+  Out += Message_;
+  return Out;
+}
+
+std::string Error::renderWithCode() const {
+  return std::string(errorCodeName(Code_)) + ": " + render();
+}

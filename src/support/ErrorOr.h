@@ -5,71 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal value-or-error-message carrier, in the spirit of
-/// llvm::Expected<T>, used for recoverable errors such as malformed
-/// contraction strings. Programmatic invariants use assert().
+/// Compatibility forwarding header: Error and ErrorOr<T> grew into the
+/// diagnostics subsystem (error codes, context chaining, combinators) and
+/// now live in support/Diagnostics.h. Include that directly in new code.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef COGENT_SUPPORT_ERROROR_H
 #define COGENT_SUPPORT_ERROROR_H
 
-#include <cassert>
-#include <string>
-#include <utility>
-#include <variant>
-
-namespace cogent {
-
-/// Describes a recoverable failure with a human-readable message.
-class Error {
-public:
-  explicit Error(std::string Message) : Message(std::move(Message)) {}
-
-  const std::string &message() const { return Message; }
-
-private:
-  std::string Message;
-};
-
-/// Holds either a successfully produced \p T or an Error.
-///
-/// Unlike llvm::Expected, destruction of an unchecked error does not abort;
-/// callers are expected to branch on the boolean conversion before access.
-template <typename T> class ErrorOr {
-public:
-  ErrorOr(T Value) : Storage(std::move(Value)) {}
-  ErrorOr(Error E) : Storage(std::move(E)) {}
-
-  /// True when a value is present.
-  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
-
-  bool hasValue() const { return std::holds_alternative<T>(Storage); }
-
-  T &get() {
-    assert(hasValue() && "accessing value of an error result");
-    return std::get<T>(Storage);
-  }
-  const T &get() const {
-    assert(hasValue() && "accessing value of an error result");
-    return std::get<T>(Storage);
-  }
-
-  T &operator*() { return get(); }
-  const T &operator*() const { return get(); }
-  T *operator->() { return &get(); }
-  const T *operator->() const { return &get(); }
-
-  /// The error message. Only valid when !hasValue().
-  const std::string &errorMessage() const {
-    assert(!hasValue() && "accessing error of a value result");
-    return std::get<Error>(Storage).message();
-  }
-
-private:
-  std::variant<T, Error> Storage;
-};
-
-} // namespace cogent
+#include "support/Diagnostics.h"
 
 #endif // COGENT_SUPPORT_ERROROR_H

@@ -75,4 +75,35 @@ TEST(SuiteData, FileMatchesBuiltInSuite) {
   }
 }
 
+TEST(SuiteData, LoaderRoundTripsTheDataFile) {
+  std::string Path = findDataFile();
+  if (Path.empty())
+    GTEST_SKIP() << "data/tccg_suite.txt not found from the test directory";
+
+  ErrorOr<std::vector<suite::SuiteEntry>> Loaded = suite::loadSuiteFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.errorMessage();
+
+  const std::vector<suite::SuiteEntry> &Suite = suite::tccgSuite();
+  ASSERT_EQ(Loaded->size(), Suite.size());
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    const suite::SuiteEntry &L = (*Loaded)[I];
+    EXPECT_EQ(L.Id, Suite[I].Id);
+    EXPECT_EQ(L.Name, Suite[I].Name);
+    EXPECT_EQ(L.Cat, Suite[I].Cat);
+    EXPECT_EQ(L.Spec, Suite[I].Spec);
+    EXPECT_EQ(L.Extents, Suite[I].Extents) << Suite[I].Name;
+    EXPECT_TRUE(L.tryContraction().hasValue()) << Suite[I].Name;
+  }
+}
+
+TEST(SuiteData, MissingFileIsATypedError) {
+  ErrorOr<std::vector<suite::SuiteEntry>> Missing =
+      suite::loadSuiteFile("no/such/suite_listing.txt");
+  ASSERT_FALSE(Missing.hasValue());
+  EXPECT_EQ(Missing.errorCode(), ErrorCode::InvalidSpec);
+  EXPECT_NE(Missing.errorMessage().find("no/such/suite_listing.txt"),
+            std::string::npos)
+      << Missing.errorMessage();
+}
+
 } // namespace
