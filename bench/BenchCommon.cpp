@@ -9,6 +9,13 @@
 #include "baselines/NwchemGen.h"
 #include "baselines/Ttgt.h"
 #include "core/Cogent.h"
+#include "core/CostModel.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "support/JsonWriter.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+#include "tensor/Tensor.h"
 
 #include <cmath>
 #include <cstdio>
@@ -17,9 +24,48 @@
 using namespace cogent;
 using namespace cogent::bench;
 
+namespace {
+
+/// Model-vs-measured traffic cross-check: re-plan the winning config at
+/// extents clamped to Options.SimExtent, run the cost model and the exact
+/// simulator on the same plan, and record both counts in \p Row.
+void crossCheckTraffic(ComparisonRow &Row, const ir::Contraction &TC,
+                       const core::KernelConfig &Config,
+                       unsigned ElementSize,
+                       const ComparisonOptions &Options) {
+  std::vector<std::pair<char, int64_t>> Extents;
+  for (char Name : TC.allIndices())
+    Extents.emplace_back(Name,
+                         std::min(TC.extent(Name), Options.SimExtent));
+  ErrorOr<ir::Contraction> Small = ir::Contraction::parse(TC.toString(),
+                                                          Extents);
+  if (!Small)
+    return;
+  core::KernelConfig Clamped = Config.clampedTo(*Small);
+  core::KernelPlan Plan(*Small, Clamped);
+  Row.SimExtent = Options.SimExtent;
+  Row.SimPredictedTransactions =
+      core::estimateTransactions(Plan, ElementSize).total();
+
+  Rng Generator(0xbe7c + static_cast<uint64_t>(Row.Id));
+  tensor::Tensor<double> A =
+      tensor::makeOperand<double>(*Small, ir::Operand::A);
+  tensor::Tensor<double> B =
+      tensor::makeOperand<double>(*Small, ir::Operand::B);
+  A.fillRandom(Generator);
+  B.fillRandom(Generator);
+  tensor::Tensor<double> C =
+      tensor::makeOperand<double>(*Small, ir::Operand::C);
+  Row.SimMeasuredTransactions = static_cast<double>(
+      gpu::simulateKernel(Plan, C, A, B).totalTransactions());
+}
+
+} // namespace
+
 std::vector<ComparisonRow>
 cogent::bench::runTccgComparison(const gpu::DeviceSpec &Device,
-                                 unsigned ElementSize) {
+                                 unsigned ElementSize,
+                                 const ComparisonOptions &Options) {
   gpu::Calibration Calib = gpu::makeCalibration(Device);
   core::Cogent Generator(Device);
 
@@ -33,13 +79,18 @@ cogent::bench::runTccgComparison(const gpu::DeviceSpec &Device,
     Row.Spec = TC.toString();
     Row.Category = suite::categoryName(Entry.Cat);
 
-    core::CogentOptions Options;
-    Options.ElementSize = ElementSize;
-    ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+    core::CogentOptions GenOptions;
+    GenOptions.ElementSize = ElementSize;
+    ErrorOr<core::GenerationResult> Result =
+        Generator.generate(TC, GenOptions);
     if (Result) {
       Row.CogentGflops = Result->best().Predicted.Gflops;
       Row.CogentConfig = Result->best().Config.toString();
       Row.CogentElapsedMs = Result->ElapsedMs;
+      Row.PredictedTransactions = Result->best().Cost.total();
+      if (Options.SimTraffic)
+        crossCheckTraffic(Row, TC, Result->best().Config, ElementSize,
+                          Options);
     }
     Row.NwchemGflops =
         baselines::estimateNwchem(TC, Device, Calib, ElementSize).Gflops;
@@ -109,4 +160,94 @@ void cogent::bench::printComparison(const std::vector<ComparisonRow> &Rows,
   std::printf("\nCOGENT total code-generation time for the 48 kernels: "
               "%.0f ms\n",
               TotalGenMs);
+}
+
+std::string
+cogent::bench::renderComparisonJson(const std::vector<ComparisonRow> &Rows,
+                                    const gpu::DeviceSpec &Device,
+                                    const char *FigureLabel,
+                                    unsigned ElementSize) {
+  support::JsonWriter W;
+  W.beginObject();
+  W.member("figure", FigureLabel);
+  W.member("device", Device.Name);
+  W.member("element_size", ElementSize);
+  W.member("suite", "tccg");
+
+  W.key("contractions");
+  W.beginArray();
+  for (const ComparisonRow &Row : Rows) {
+    W.beginObject();
+    W.member("id", Row.Id);
+    W.member("name", Row.Name);
+    W.member("spec", Row.Spec);
+    W.member("category", Row.Category);
+    W.member("cogent_gflops", Row.CogentGflops);
+    W.member("nwchem_gflops", Row.NwchemGflops);
+    W.member("talsh_gflops", Row.TalshGflops);
+    W.member("cogent_config", Row.CogentConfig);
+    W.member("codegen_ms", Row.CogentElapsedMs);
+    W.member("predicted_transactions", Row.PredictedTransactions);
+    if (Row.SimExtent > 0) {
+      W.key("traffic_cross_check");
+      W.beginObject();
+      W.member("extent", Row.SimExtent);
+      W.member("predicted", Row.SimPredictedTransactions);
+      W.member("simulated", Row.SimMeasuredTransactions);
+      if (Row.SimMeasuredTransactions > 0.0)
+        W.member("model_over_sim",
+                 Row.SimPredictedTransactions / Row.SimMeasuredTransactions);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("summary");
+  W.beginObject();
+  W.member("geomean_speedup_vs_nwchem", geomeanSpeedup(Rows, true));
+  W.member("geomean_speedup_vs_talsh", geomeanSpeedup(Rows, false));
+  double TotalGenMs = 0.0;
+  for (const ComparisonRow &Row : Rows)
+    TotalGenMs += Row.CogentElapsedMs;
+  W.member("total_codegen_ms", TotalGenMs);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+bool cogent::bench::writeBenchJson(const std::string &Path,
+                                   const std::string &Json) {
+  std::string Err;
+  if (!support::validateJson(Json, &Err)) {
+    // A malformed reporter is a harness bug; surface it loudly in the text
+    // output that CI archives.
+    std::printf("\nwarning: refusing to write malformed JSON to %s (%s)\n",
+                Path.c_str(), Err.c_str());
+    return false;
+  }
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  bool Ok = File != nullptr;
+  if (Ok) {
+    Ok = std::fwrite(Json.data(), 1, Json.size(), File) == Json.size();
+    Ok &= std::fclose(File) == 0;
+  }
+  if (Ok)
+    std::printf("\nwrote %s\n", Path.c_str());
+  else
+    std::printf("\nwarning: could not write %s\n", Path.c_str());
+  return Ok;
+}
+
+std::string cogent::bench::benchJsonPath(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--json=", 0) == 0)
+      return Arg.substr(7);
+  }
+  std::string Name = Argv[0];
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  return Name + ".json";
 }

@@ -37,12 +37,33 @@ struct ComparisonRow {
   std::string CogentConfig;
   /// COGENT generation wall-clock, ms.
   double CogentElapsedMs = 0.0;
+  /// Algorithm-3 modeled transactions of the winning kernel at the full
+  /// representative size.
+  double PredictedTransactions = 0.0;
+  /// Model-vs-measured cross-check at a clamped verification size (0 when
+  /// ComparisonOptions::SimTraffic is off): the extent cap, the cost
+  /// model's estimate at that size, and the simulator's exact count.
+  int64_t SimExtent = 0;
+  double SimPredictedTransactions = 0.0;
+  double SimMeasuredTransactions = 0.0;
+};
+
+/// Knobs for runTccgComparison beyond the element size.
+struct ComparisonOptions {
+  /// Re-plan each winning kernel at extents clamped to SimExtent and record
+  /// both the modeled and the simulator-exact transaction counts — the
+  /// Peise-style model-vs-measured discrepancy column of the bench JSON.
+  /// Off by default: simulation across 48 entries costs seconds, which the
+  /// headline-claims tests don't need.
+  bool SimTraffic = false;
+  int64_t SimExtent = 8;
 };
 
 /// Runs the full 48-entry TCCG comparison (double precision, as in the
 /// paper's Figs. 4/5) on \p Device.
-std::vector<ComparisonRow> runTccgComparison(const gpu::DeviceSpec &Device,
-                                             unsigned ElementSize);
+std::vector<ComparisonRow>
+runTccgComparison(const gpu::DeviceSpec &Device, unsigned ElementSize,
+                  const ComparisonOptions &Options = ComparisonOptions());
 
 /// Prints the figure: one row per contraction plus per-category and overall
 /// geometric-mean/maximum speedup summaries (the paper's in-text numbers).
@@ -52,6 +73,25 @@ void printComparison(const std::vector<ComparisonRow> &Rows,
 /// Geometric mean of CogentGflops / Other over rows (Other selected by
 /// \p UseNwchem).
 double geomeanSpeedup(const std::vector<ComparisonRow> &Rows, bool UseNwchem);
+
+/// Serializes the comparison as machine-readable JSON (schema in
+/// docs/ARCHITECTURE.md §10): figure label, device, element size, one
+/// record per contraction with per-framework GFLOPS, codegen time and the
+/// predicted-vs-simulated traffic cross-check, plus the summary speedups.
+std::string renderComparisonJson(const std::vector<ComparisonRow> &Rows,
+                                 const gpu::DeviceSpec &Device,
+                                 const char *FigureLabel,
+                                 unsigned ElementSize);
+
+/// Writes \p Json to \p Path; prints a note (or a warning on failure) to
+/// stdout and returns success. Shared by every bench harness so each
+/// bench_fig* binary drops a structured <name>.json next to its text
+/// output.
+bool writeBenchJson(const std::string &Path, const std::string &Json);
+
+/// Default JSON path for a harness: basename of \p Argv0 + ".json",
+/// overridable with a --json=FILE argument (the first match in Argv wins).
+std::string benchJsonPath(int Argc, char **Argv);
 
 } // namespace bench
 } // namespace cogent

@@ -9,14 +9,63 @@
 #include "baselines/TcTuner.h"
 #include "core/Cogent.h"
 #include "suite/TccgSuite.h"
+#include "support/JsonWriter.h"
 
 #include <cmath>
 #include <cstdio>
 
 using namespace cogent;
+using namespace cogent::bench;
 
-void cogent::bench::runTcComparison(const gpu::DeviceSpec &Device,
-                                    const char *FigureLabel) {
+std::vector<TcRow>
+cogent::bench::runTcComparison(const gpu::DeviceSpec &Device) {
+  core::Cogent Generator(Device);
+
+  std::vector<TcRow> Rows;
+  for (const suite::SuiteEntry &Entry : suite::sd2Set()) {
+    ir::Contraction TC = Entry.contraction();
+
+    TcRow Row;
+    Row.Id = Entry.Id;
+    Row.Name = Entry.Name;
+    Row.Spec = TC.toString();
+
+    core::CogentOptions Options;
+    Options.ElementSize = 4;
+    ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+    if (Result) {
+      Row.CogentGflops = Result->best().Predicted.Gflops;
+      Row.CogentElapsedMs = Result->ElapsedMs;
+    }
+
+    baselines::TcTunerOptions TunerOptions;
+    TunerOptions.Seed = 0x7c00 + static_cast<uint64_t>(Entry.Id);
+    baselines::TcTuneResult Tuned =
+        baselines::tuneTc(TC, Device, TunerOptions);
+    Row.TcUntunedGflops = Tuned.UntunedGflops;
+    Row.TcTunedGflops = Tuned.BestGflops;
+    Row.TcTuningSeconds = Tuned.ModeledTuningSeconds;
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+double
+cogent::bench::geomeanSpeedupVsTunedTc(const std::vector<TcRow> &Rows) {
+  double LnSum = 0.0;
+  size_t Count = 0;
+  for (const TcRow &Row : Rows) {
+    if (Row.CogentGflops <= 0.0 || Row.TcTunedGflops <= 0.0)
+      continue;
+    LnSum += std::log(Row.CogentGflops / Row.TcTunedGflops);
+    ++Count;
+  }
+  return Count == 0 ? 0.0 : std::exp(LnSum / static_cast<double>(Count));
+}
+
+void cogent::bench::printTcComparison(const std::vector<TcRow> &Rows,
+                                      const gpu::DeviceSpec &Device,
+                                      const char *FigureLabel) {
   std::printf("%s — COGENT vs Tensor Comprehensions on the SD2 CCSD(T) set "
               "(%s, single precision, modeled)\n",
               FigureLabel, Device.Name.c_str());
@@ -25,34 +74,56 @@ void cogent::bench::runTcComparison(const gpu::DeviceSpec &Device,
   std::printf("%-7s %-20s %10s %12s %10s %14s %12s\n", "name", "spec",
               "COGENT", "TC untuned", "TC tuned", "TC tuning (s)",
               "COGENT (ms)");
-
-  core::Cogent Generator(Device);
-  double LnSum = 0.0;
-  int Count = 0;
-  for (const suite::SuiteEntry &Entry : suite::sd2Set()) {
-    ir::Contraction TC = Entry.contraction();
-
-    core::CogentOptions Options;
-    Options.ElementSize = 4;
-    ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
-    double CogentGflops = Result ? Result->best().Predicted.Gflops : 0.0;
-    double CogentMs = Result ? Result->ElapsedMs : 0.0;
-
-    baselines::TcTunerOptions TunerOptions;
-    TunerOptions.Seed = 0x7c00 + static_cast<uint64_t>(Entry.Id);
-    baselines::TcTuneResult Tuned =
-        baselines::tuneTc(TC, Device, TunerOptions);
-
+  for (const TcRow &Row : Rows)
     std::printf("%-7s %-20s %10.1f %12.2f %10.1f %14.0f %12.1f\n",
-                Entry.Name.c_str(), TC.toString().c_str(), CogentGflops,
-                Tuned.UntunedGflops, Tuned.BestGflops,
-                Tuned.ModeledTuningSeconds, CogentMs);
-    if (CogentGflops > 0.0 && Tuned.BestGflops > 0.0) {
-      LnSum += std::log(CogentGflops / Tuned.BestGflops);
-      ++Count;
-    }
-  }
-  if (Count > 0)
+                Row.Name.c_str(), Row.Spec.c_str(), Row.CogentGflops,
+                Row.TcUntunedGflops, Row.TcTunedGflops, Row.TcTuningSeconds,
+                Row.CogentElapsedMs);
+
+  double Geomean = geomeanSpeedupVsTunedTc(Rows);
+  if (Geomean > 0.0)
     std::printf("\nGeometric-mean speedup of COGENT over tuned TC: %.2fx\n",
-                std::exp(LnSum / Count));
+                Geomean);
+}
+
+std::string
+cogent::bench::renderTcComparisonJson(const std::vector<TcRow> &Rows,
+                                      const gpu::DeviceSpec &Device,
+                                      const char *FigureLabel) {
+  support::JsonWriter W;
+  W.beginObject();
+  W.member("figure", FigureLabel);
+  W.member("device", Device.Name);
+  W.member("element_size", 4);
+  W.member("suite", "sd2");
+
+  W.key("contractions");
+  W.beginArray();
+  for (const TcRow &Row : Rows) {
+    W.beginObject();
+    W.member("id", Row.Id);
+    W.member("name", Row.Name);
+    W.member("spec", Row.Spec);
+    W.member("cogent_gflops", Row.CogentGflops);
+    W.member("tc_untuned_gflops", Row.TcUntunedGflops);
+    W.member("tc_tuned_gflops", Row.TcTunedGflops);
+    W.member("tc_tuning_seconds", Row.TcTuningSeconds);
+    W.member("codegen_ms", Row.CogentElapsedMs);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("summary");
+  W.beginObject();
+  W.member("geomean_speedup_vs_tuned_tc", geomeanSpeedupVsTunedTc(Rows));
+  double TotalGenMs = 0.0, TotalTuningS = 0.0;
+  for (const TcRow &Row : Rows) {
+    TotalGenMs += Row.CogentElapsedMs;
+    TotalTuningS += Row.TcTuningSeconds;
+  }
+  W.member("total_codegen_ms", TotalGenMs);
+  W.member("total_tc_tuning_seconds", TotalTuningS);
+  W.endObject();
+  W.endObject();
+  return W.take();
 }

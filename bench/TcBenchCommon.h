@@ -16,11 +16,43 @@
 
 #include "gpu/DeviceSpec.h"
 
+#include <string>
+#include <vector>
+
 namespace cogent {
 namespace bench {
 
-/// Runs and prints the SD2 single-precision comparison on \p Device.
-void runTcComparison(const gpu::DeviceSpec &Device, const char *FigureLabel);
+/// One x-axis position of Fig. 6 / Fig. 7.
+struct TcRow {
+  int Id = 0;
+  std::string Name;
+  std::string Spec;
+  double CogentGflops = 0.0;
+  double TcUntunedGflops = 0.0;
+  double TcTunedGflops = 0.0;
+  /// Modeled wall-clock of the genetic autotuner, seconds.
+  double TcTuningSeconds = 0.0;
+  /// COGENT generation wall-clock, ms.
+  double CogentElapsedMs = 0.0;
+};
+
+/// Runs the SD2 single-precision comparison on \p Device.
+std::vector<TcRow> runTcComparison(const gpu::DeviceSpec &Device);
+
+/// Prints the figure: one row per contraction plus the geometric-mean
+/// speedup over tuned TC (the paper's in-text number).
+void printTcComparison(const std::vector<TcRow> &Rows,
+                       const gpu::DeviceSpec &Device,
+                       const char *FigureLabel);
+
+/// Geometric mean of CogentGflops / TcTunedGflops over rows.
+double geomeanSpeedupVsTunedTc(const std::vector<TcRow> &Rows);
+
+/// Serializes the comparison as machine-readable JSON (schema in
+/// docs/ARCHITECTURE.md §10).
+std::string renderTcComparisonJson(const std::vector<TcRow> &Rows,
+                                   const gpu::DeviceSpec &Device,
+                                   const char *FigureLabel);
 
 } // namespace bench
 } // namespace cogent

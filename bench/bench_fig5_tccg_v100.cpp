@@ -15,10 +15,17 @@
 
 #include "gpu/DeviceSpec.h"
 
-int main() {
+int main(int Argc, char **Argv) {
   cogent::gpu::DeviceSpec Device = cogent::gpu::makeV100();
+  cogent::bench::ComparisonOptions Options;
+  Options.SimTraffic = true;
   std::vector<cogent::bench::ComparisonRow> Rows =
-      cogent::bench::runTccgComparison(Device, /*ElementSize=*/8);
+      cogent::bench::runTccgComparison(Device, /*ElementSize=*/8, Options);
   cogent::bench::printComparison(Rows, Device, "Fig. 5");
-  return 0;
+  std::string Json =
+      cogent::bench::renderComparisonJson(Rows, Device, "Fig. 5", 8);
+  return cogent::bench::writeBenchJson(
+             cogent::bench::benchJsonPath(Argc, Argv), Json)
+             ? 0
+             : 1;
 }

@@ -11,11 +11,20 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "TcBenchCommon.h"
 
 #include "gpu/DeviceSpec.h"
 
-int main() {
-  cogent::bench::runTcComparison(cogent::gpu::makeP100(), "Fig. 6");
-  return 0;
+int main(int Argc, char **Argv) {
+  cogent::gpu::DeviceSpec Device = cogent::gpu::makeP100();
+  std::vector<cogent::bench::TcRow> Rows =
+      cogent::bench::runTcComparison(Device);
+  cogent::bench::printTcComparison(Rows, Device, "Fig. 6");
+  std::string Json =
+      cogent::bench::renderTcComparisonJson(Rows, Device, "Fig. 6");
+  return cogent::bench::writeBenchJson(
+             cogent::bench::benchJsonPath(Argc, Argv), Json)
+             ? 0
+             : 1;
 }

@@ -14,16 +14,19 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "baselines/TcTuner.h"
 #include "core/Cogent.h"
 #include "gpu/DeviceSpec.h"
 #include "suite/TccgSuite.h"
+#include "support/JsonWriter.h"
 
 #include <cstdio>
 
 using namespace cogent;
 
-int main() {
+int main(int Argc, char **Argv) {
   gpu::DeviceSpec Device = gpu::makeV100();
   const suite::SuiteEntry &Entry = suite::suiteEntry(31); // sd2_1
   ir::Contraction TC = Entry.contraction();
@@ -53,5 +56,33 @@ int main() {
               "~8514 s)\n",
               Tuned.ModeledTuningSeconds);
   std::printf("COGENT model-driven generation time: %.1f ms\n", CogentMs);
-  return 0;
+
+  support::JsonWriter W;
+  W.beginObject();
+  W.member("figure", "Fig. 8");
+  W.member("device", Device.Name);
+  W.member("element_size", 4);
+  W.member("name", Entry.Name);
+  W.member("spec", TC.toString());
+  W.member("cogent_gflops", CogentGflops);
+  W.member("codegen_ms", CogentMs);
+  W.member("tc_untuned_gflops", Tuned.UntunedGflops);
+  W.member("tc_tuning_seconds", Tuned.ModeledTuningSeconds);
+  W.key("tuning_curve");
+  W.beginArray();
+  for (size_t Gen = 0; Gen < Tuned.BestGflopsPerGeneration.size(); ++Gen) {
+    W.beginObject();
+    W.member("candidates",
+             static_cast<uint64_t>((Gen + 1) *
+                                   static_cast<size_t>(
+                                       TunerOptions.PopulationSize)));
+    W.member("tc_tuned_gflops", Tuned.BestGflopsPerGeneration[Gen]);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return cogent::bench::writeBenchJson(
+             cogent::bench::benchJsonPath(Argc, Argv), W.take())
+             ? 0
+             : 1;
 }

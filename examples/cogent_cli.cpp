@@ -13,20 +13,30 @@
 ///   cogent_cli <C-A-B spec> [uniform-extent] [--device p100|v100]
 ///              [--fp32] [--topk N] [--opencl] [--double-buffer]
 ///              [--max-configs N] [--deadline-ms X] [--max-source-bytes N]
+///              [--trace=FILE] [--metrics=FILE] [--quiet]
 /// Examples:
 ///   cogent_cli abcd-aebf-dfce 72
 ///   cogent_cli abcdef-gdab-efgc 16 --device p100 --fp32
 ///   cogent_cli ij-ik-kj 4096 --opencl --double-buffer
+///   cogent_cli ab-ac-cb 1024 --trace=t.json --metrics=m.json --quiet
+///
+/// --trace writes a Chrome trace-event JSON file (open it in
+/// chrome://tracing or https://ui.perfetto.dev) with one span per pipeline
+/// phase; --metrics writes a machine-readable summary of the run (phase
+/// timings, enumeration stats, per-kernel model outputs, counter deltas);
+/// --quiet suppresses the stderr report and the stdout source dump so
+/// scripted runs produce only the requested files (errors still print).
 ///
 /// Exit codes: 0 = success, 1 = the input was rejected with a diagnostic
-/// (printed to stderr as "error: <Code>: <context>: <message>"),
-/// 2 = usage error.
+/// (printed to stderr as "error: <Code>: <context>: <message>") or an
+/// output file could not be written, 2 = usage error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Cogent.h"
 #include "core/KernelPlan.h"
 #include "gpu/DeviceSpec.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,8 +50,26 @@ static void printUsage(const char *Argv0) {
                "usage: %s <C-A-B spec> [uniform-extent] "
                "[--device p100|v100] [--fp32] [--topk N] [--opencl] "
                "[--double-buffer] [--explain] [--max-configs N] "
-               "[--deadline-ms X] [--max-source-bytes N]\n",
+               "[--deadline-ms X] [--max-source-bytes N] [--trace=FILE] "
+               "[--metrics=FILE] [--quiet]\n",
                Argv0);
+}
+
+/// Matches "--flag=VALUE" or the two-argument "--flag VALUE" spelling;
+/// advances \p I past a consumed second argument.
+static bool fileArg(const char *Flag, int Argc, char **Argv, int *I,
+                    std::string *Out) {
+  std::string Arg = Argv[*I];
+  std::string Prefix = std::string(Flag) + "=";
+  if (Arg.rfind(Prefix, 0) == 0) {
+    *Out = Arg.substr(Prefix.size());
+    return true;
+  }
+  if (Arg == Flag && *I + 1 < Argc) {
+    *Out = Argv[++*I];
+    return true;
+  }
+  return false;
 }
 
 int main(int Argc, char **Argv) {
@@ -49,18 +77,28 @@ int main(int Argc, char **Argv) {
     printUsage(Argv[0]);
     return 2;
   }
-  std::string Spec = Argv[1];
+  std::string Spec;
   int64_t Extent = 32;
   gpu::DeviceSpec Device = gpu::makeV100();
   core::CogentOptions Options;
   bool UseOpenCl = false;
   bool UseDoubleBuffer = false;
   bool Explain = false;
+  bool Quiet = false;
+  std::string TracePath;
+  std::string MetricsPath;
 
-  for (int I = 2; I < Argc; ++I) {
+  // Positional arguments (the spec, then the extent) may appear anywhere
+  // relative to the flags.
+  for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--fp32") {
       Options.ElementSize = 4;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (fileArg("--trace", Argc, Argv, &I, &TracePath) ||
+               fileArg("--metrics", Argc, Argv, &I, &MetricsPath)) {
+      // Path captured by fileArg.
     } else if (Arg == "--opencl") {
       UseOpenCl = true;
     } else if (Arg == "--double-buffer") {
@@ -87,18 +125,40 @@ int main(int Argc, char **Argv) {
       Options.Budget.MaxSourceBytes =
           static_cast<uint64_t>(std::atoll(Argv[++I]));
     } else if (Arg[0] != '-') {
-      Extent = std::atoll(Arg.c_str());
-      if (Extent <= 0) {
-        std::fprintf(stderr, "error: extent must be positive\n");
-        return 2;
+      if (Spec.empty()) {
+        Spec = Arg;
+      } else {
+        Extent = std::atoll(Arg.c_str());
+        if (Extent <= 0) {
+          std::fprintf(stderr, "error: extent must be positive\n");
+          return 2;
+        }
       }
     } else {
       printUsage(Argv[0]);
       return 2;
     }
   }
+  if (Spec.empty()) {
+    printUsage(Argv[0]);
+    return 2;
+  }
 
-  ErrorOr<ir::Contraction> TC = ir::Contraction::parseUniform(Spec, Extent);
+  support::TraceSession Session;
+  support::ScopedTraceActivation Activation(
+      TracePath.empty() ? nullptr : &Session);
+  if (!TracePath.empty())
+    Options.Trace = &Session;
+
+  double ParseMs = 0.0;
+  ErrorOr<ir::Contraction> TC = [&]() {
+    support::TraceSpan Span("cogent.parse");
+    Span.arg("spec", Spec);
+    ErrorOr<ir::Contraction> Parsed =
+        ir::Contraction::parseUniform(Spec, Extent);
+    ParseMs = Span.elapsedMs();
+    return Parsed;
+  }();
   if (!TC) {
     std::fprintf(stderr, "error: %s\n", TC.error().renderWithCode().c_str());
     return 1;
@@ -111,32 +171,56 @@ int main(int Argc, char **Argv) {
                  Result.error().renderWithCode().c_str());
     return 1;
   }
+  Result->Phases.ParseMs = ParseMs;
 
-  std::fprintf(stderr,
-               "# %s on %s: %llu candidates -> %llu survivors in %.1f ms\n",
-               TC->toStringWithExtents().c_str(), Device.Name.c_str(),
-               static_cast<unsigned long long>(Result->Stats.RawConfigs),
-               static_cast<unsigned long long>(Result->Stats.Survivors),
-               Result->ElapsedMs);
-  if (Result->Stats.truncated())
+  if (!MetricsPath.empty()) {
+    std::string Json = core::renderMetricsJson(*TC, *Result, Device);
+    std::FILE *File = std::fopen(MetricsPath.c_str(), "w");
+    bool Ok = File != nullptr;
+    if (Ok) {
+      Ok = std::fwrite(Json.data(), 1, Json.size(), File) == Json.size();
+      Ok &= std::fclose(File) == 0;
+    }
+    if (!Ok) {
+      std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                   MetricsPath.c_str());
+      return 1;
+    }
+  }
+  if (!TracePath.empty() && !Session.writeChromeTrace(TracePath)) {
+    std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                 TracePath.c_str());
+    return 1;
+  }
+
+  if (!Quiet) {
     std::fprintf(stderr,
-                 "# warning: search truncated by budget (%s) after %llu of "
-                 "%llu candidates; ranking is best-effort\n",
-                 core::searchStatusName(Result->Stats.Status),
-                 static_cast<unsigned long long>(Result->Stats.Examined),
-                 static_cast<unsigned long long>(Result->Stats.RawConfigs));
-  if (Result->Fallback != core::FallbackLevel::None)
-    std::fprintf(stderr, "# warning: fallback level '%s' produced this "
-                         "kernel (no configuration survived the search)\n",
-                 core::fallbackLevelName(Result->Fallback));
-  if (Result->SourceTruncated)
-    std::fprintf(stderr, "# warning: emission stopped early by the source "
-                         "byte budget\n");
-  for (size_t I = 0; I < Result->Kernels.size(); ++I) {
-    const core::GeneratedKernel &Kernel = Result->Kernels[I];
-    std::fprintf(stderr, "# rank %zu: %s  cost=%.3g  predicted=%.0f GFLOPS\n",
-                 I + 1, Kernel.Config.toString().c_str(),
-                 Kernel.Cost.total(), Kernel.Predicted.Gflops);
+                 "# %s on %s: %llu candidates -> %llu survivors in %.1f ms\n",
+                 TC->toStringWithExtents().c_str(), Device.Name.c_str(),
+                 static_cast<unsigned long long>(Result->Stats.RawConfigs),
+                 static_cast<unsigned long long>(Result->Stats.Survivors),
+                 Result->ElapsedMs);
+    if (Result->Stats.truncated())
+      std::fprintf(stderr,
+                   "# warning: search truncated by budget (%s) after %llu of "
+                   "%llu candidates; ranking is best-effort\n",
+                   core::searchStatusName(Result->Stats.Status),
+                   static_cast<unsigned long long>(Result->Stats.Examined),
+                   static_cast<unsigned long long>(Result->Stats.RawConfigs));
+    if (Result->Fallback != core::FallbackLevel::None)
+      std::fprintf(stderr, "# warning: fallback level '%s' produced this "
+                           "kernel (no configuration survived the search)\n",
+                   core::fallbackLevelName(Result->Fallback));
+    if (Result->SourceTruncated)
+      std::fprintf(stderr, "# warning: emission stopped early by the source "
+                           "byte budget\n");
+    for (size_t I = 0; I < Result->Kernels.size(); ++I) {
+      const core::GeneratedKernel &Kernel = Result->Kernels[I];
+      std::fprintf(stderr,
+                   "# rank %zu: %s  cost=%.3g  predicted=%.0f GFLOPS\n",
+                   I + 1, Kernel.Config.toString().c_str(),
+                   Kernel.Cost.total(), Kernel.Predicted.Gflops);
+    }
   }
   // A TTGT-fallback kernel targets the matricized GEMM contraction, so all
   // re-planning must use that, not the original spec.
@@ -144,7 +228,7 @@ int main(int Argc, char **Argv) {
       Result->Fallback == core::FallbackLevel::TtgtBaseline
           ? *Result->FallbackContraction
           : *TC;
-  if (Explain)
+  if (Explain && !Quiet)
     std::fprintf(stderr, "%s\n",
                  core::explainKernel(PlanTC, Result->best(), Device,
                                      Options.ElementSize)
@@ -157,11 +241,13 @@ int main(int Argc, char **Argv) {
     CG.DoubleBuffer = UseDoubleBuffer;
     core::GeneratedSource Source =
         UseOpenCl ? core::emitOpenCl(Plan, CG) : core::emitCuda(Plan, CG);
-    std::printf("%s\n%s", Source.KernelSource.c_str(),
-                Source.DriverSource.c_str());
+    if (!Quiet)
+      std::printf("%s\n%s", Source.KernelSource.c_str(),
+                  Source.DriverSource.c_str());
     return 0;
   }
-  std::printf("%s\n%s", Result->best().Source.KernelSource.c_str(),
-              Result->best().Source.DriverSource.c_str());
+  if (!Quiet)
+    std::printf("%s\n%s", Result->best().Source.KernelSource.c_str(),
+                Result->best().Source.DriverSource.c_str());
   return 0;
 }

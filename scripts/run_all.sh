@@ -1,27 +1,82 @@
 #!/usr/bin/env bash
 # Builds everything, runs the full test suite and every benchmark harness,
-# and records the outputs the artifact appendix describes.
+# and records the outputs the artifact appendix describes: test_output.txt,
+# asan_output.txt, bench_output.txt plus the machine-readable
+# bench_output.json (aggregated from each harness's per-figure JSON) and a
+# --trace/--metrics smoke run whose artifacts are validated with the
+# repo's own json_lint.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Prefer Ninja when configuring a tree from scratch, but never force a
+# generator onto an already-configured build directory (CMake errors out
+# if the generators differ).
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+configure() {
+  local dir="$1"; shift
+  if [ -f "$dir/CMakeCache.txt" ]; then
+    cmake -B "$dir" "$@"
+  else
+    cmake -B "$dir" "${GENERATOR_ARGS[@]}" "$@"
+  fi
+}
+
+configure build
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+# Fast lane first: the tier1 label excludes the long fuzz / full-scale
+# sweeps, so structural breakage surfaces in seconds...
+ctest --test-dir build -L tier1 --output-on-failure 2>&1 | tee test_output.txt
+# ...then the full suite (slow tests included) for the record.
+ctest --test-dir build 2>&1 | tee -a test_output.txt
 
 # Fuzz smoke test under AddressSanitizer + UBSan: the whole-pipeline fuzz
 # harness re-runs in an instrumented tree so memory errors and signed
 # overflow surface even when the uninstrumented asserts stay quiet.
-cmake -B build-asan -G Ninja -DCOGENT_SANITIZE=ON
+configure build-asan -DCOGENT_SANITIZE=ON
 cmake --build build-asan --target test_fuzz_pipeline
 ctest --test-dir build-asan -R test_fuzz_pipeline --output-on-failure \
   2>&1 | tee asan_output.txt
 
+JSON_LINT=build/tools/json_lint
+
+# Observability smoke: one CLI run must produce well-formed trace and
+# metrics JSON; json_lint exits non-zero (failing the script) otherwise.
+rm -rf smoke_artifacts && mkdir -p smoke_artifacts
+build/examples/cogent_cli "ab-ac-cb" 512 --quiet \
+  --trace=smoke_artifacts/trace.json --metrics=smoke_artifacts/metrics.json
+"$JSON_LINT" smoke_artifacts/trace.json smoke_artifacts/metrics.json
+
+# Each bench harness writes its own <name>.json next to the text output;
+# run them from a scratch directory, validate every artifact, then
+# aggregate into one bench_output.json keyed by harness name.
+rm -rf bench_artifacts && mkdir -p bench_artifacts
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
+    name=$(basename "$b")
     echo "==== $b ====" | tee -a bench_output.txt
-    "$b" 2>&1 | tee -a bench_output.txt
+    (cd bench_artifacts && "../$b") 2>&1 | tee -a bench_output.txt
     echo | tee -a bench_output.txt
   fi
 done
+
+if compgen -G "bench_artifacts/*.json" >/dev/null; then
+  "$JSON_LINT" bench_artifacts/*.json
+  {
+    printf '{'
+    first=1
+    for f in bench_artifacts/*.json; do
+      name=$(basename "$f" .json)
+      if [ "$first" -eq 1 ]; then first=0; else printf ','; fi
+      printf '"%s":' "$name"
+      cat "$f"
+    done
+    printf '}'
+  } > bench_output.json
+  "$JSON_LINT" bench_output.json
+  echo "aggregated $(ls bench_artifacts/*.json | wc -l) reports into bench_output.json"
+fi

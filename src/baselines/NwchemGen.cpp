@@ -8,12 +8,17 @@
 
 #include "core/CostModel.h"
 #include "core/KernelPlan.h"
+#include "support/Counters.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace cogent;
 using namespace cogent::baselines;
+
+COGENT_COUNTER(NumNwchemEstimates, "baselines.nwchem-estimates",
+               "NWChem-style baseline cost estimates computed");
 using cogent::core::IndexTile;
 using cogent::core::KernelConfig;
 using cogent::ir::Contraction;
@@ -113,6 +118,8 @@ cogent::baselines::estimateNwchem(const Contraction &TC,
                                   const gpu::Calibration &Calib,
                                   unsigned ElementSize,
                                   const NwchemHeuristic &Heuristic) {
+  ++NumNwchemEstimates;
+  support::TraceSpan Span("baselines.nwchem-estimate");
   KernelConfig Config = nwchemConfig(TC, Heuristic);
   core::KernelPlan Plan(TC, Config);
   gpu::KernelProfile Profile =

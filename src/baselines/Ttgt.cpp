@@ -7,6 +7,8 @@
 #include "baselines/Ttgt.h"
 
 #include "blas/GemmModel.h"
+#include "support/Counters.h"
+#include "support/Trace.h"
 #include "transpose/TransposeModel.h"
 
 #include <algorithm>
@@ -14,6 +16,9 @@
 
 using namespace cogent;
 using namespace cogent::baselines;
+
+COGENT_COUNTER(NumTtgtEstimates, "baselines.ttgt-estimates",
+               "TTGT pipeline cost estimates computed");
 using cogent::ir::Contraction;
 using cogent::ir::Operand;
 using cogent::tensor::Tensor;
@@ -133,6 +138,8 @@ TtgtEstimate cogent::baselines::estimateTtgt(const Contraction &TC,
                                              const gpu::DeviceSpec &Device,
                                              const gpu::Calibration &Calib,
                                              unsigned ElementSize) {
+  ++NumTtgtEstimates;
+  support::TraceSpan Span("baselines.ttgt-estimate");
   TtgtPlan Plan = planTtgt(TC);
   TtgtEstimate Est;
 

@@ -13,6 +13,7 @@
 
 #include "core/CodeGen.h"
 
+#include "support/Counters.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -22,6 +23,11 @@ using namespace cogent;
 using namespace cogent::core;
 using cogent::ir::Contraction;
 using cogent::ir::Operand;
+
+COGENT_COUNTER(NumKernelsEmitted, "codegen.kernels-emitted",
+               "kernel+driver source pairs emitted (both dialects)");
+COGENT_COUNTER(NumBytesEmitted, "codegen.bytes-emitted",
+               "total kernel+driver source bytes emitted");
 
 namespace {
 
@@ -451,6 +457,8 @@ GeneratedSource cogent::core::emitCuda(const KernelPlan &Plan,
   DS << ");\n";
   DS << "}\n";
   Out.DriverSource = DS.str();
+  ++NumKernelsEmitted;
+  NumBytesEmitted += Out.KernelSource.size() + Out.DriverSource.size();
   return Out;
 }
 
@@ -490,5 +498,7 @@ GeneratedSource cogent::core::emitOpenCl(const KernelPlan &Plan,
         "Local, 0, nullptr, nullptr);\n";
   DS << "}\n";
   Out.DriverSource = DS.str();
+  ++NumKernelsEmitted;
+  NumBytesEmitted += Out.KernelSource.size() + Out.DriverSource.size();
   return Out;
 }

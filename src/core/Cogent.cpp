@@ -7,6 +7,7 @@
 #include "core/Cogent.h"
 
 #include "core/KernelPlan.h"
+#include "support/JsonWriter.h"
 
 #include <algorithm>
 #include <chrono>
@@ -15,6 +16,17 @@
 using namespace cogent;
 using namespace cogent::core;
 using cogent::ir::Contraction;
+
+COGENT_COUNTER(NumGenerateRuns, "cogent.generate-runs",
+               "Cogent::generate invocations");
+COGENT_COUNTER(NumFallbackMinimal, "cogent.fallback-minimal-tile",
+               "runs that fell back to the minimal-tile configuration");
+COGENT_COUNTER(NumFallbackTtgt, "cogent.fallback-ttgt",
+               "runs that fell back to the TTGT baseline plan");
+COGENT_COUNTER(NumSourceTruncations, "cogent.source-truncations",
+               "runs whose emission was stopped by MaxSourceBytes");
+COGENT_COUNTER(NumKernelsRanked, "cogent.kernels-ranked",
+               "candidate kernels scored by the cost model ranking");
 
 const char *cogent::core::fallbackLevelName(FallbackLevel Level) {
   switch (Level) {
@@ -27,6 +39,16 @@ const char *cogent::core::fallbackLevelName(FallbackLevel Level) {
   }
   assert(false && "unknown fallback level");
   return "?";
+}
+
+std::optional<FallbackLevel>
+cogent::core::fallbackLevelFromName(const std::string &Name) {
+  for (unsigned I = 0; I < NumFallbackLevels; ++I) {
+    FallbackLevel Level = static_cast<FallbackLevel>(I);
+    if (Name == fallbackLevelName(Level))
+      return Level;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -91,23 +113,38 @@ Contraction buildTtgtGemm(const Contraction &TC) {
 ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
                                            CogentOptions Options) const {
   auto Start = std::chrono::steady_clock::now();
+  support::ScopedTraceActivation Activation(Options.Trace);
+  support::CounterSnapshot CountersBefore = support::snapshotCounters();
+  ++NumGenerateRuns;
+  support::TraceSpan GenerateSpan("cogent.generate");
+  GenerateSpan.arg("contraction", TC.toStringWithExtents());
+  GenerateSpan.arg("device", Device.Name);
 
   Options.Enumeration.ElementSize = Options.ElementSize;
   Options.Enumeration.MaxConfigs = Options.Budget.MaxConfigs;
   Options.Enumeration.DeadlineMs = Options.Budget.DeadlineMs;
   Enumerator Enum(TC, Device, Options.Enumeration);
   GenerationResult Result;
-  std::vector<KernelConfig> Configs = Enum.enumerate(&Result.Stats);
+  std::vector<KernelConfig> Configs;
+  {
+    support::TraceSpan Span("cogent.enumerate");
+    Configs = Enum.enumerate(&Result.Stats);
+    Span.arg("survivors", std::to_string(Configs.size()));
+    Result.Phases.EnumerateMs = Span.elapsedMs();
+  }
 
   // The guaranteed-fallback chain: pruned search -> minimal tiles -> TTGT.
   const Contraction *EmitTC = &TC;
   if (Configs.empty()) {
+    support::TraceSpan Span("cogent.fallback");
     KernelConfig Minimal;
     if (buildMinimalConfig(TC, Device, Options.ElementSize, &Minimal)) {
       Result.Fallback = FallbackLevel::MinimalTile;
+      ++NumFallbackMinimal;
       Configs.push_back(std::move(Minimal));
     } else {
       Result.Fallback = FallbackLevel::TtgtBaseline;
+      ++NumFallbackTtgt;
       Result.FallbackContraction = buildTtgtGemm(TC);
       EmitTC = &*Result.FallbackContraction;
       char GemmFvi = EmitTC->fvi(ir::Operand::C);
@@ -117,6 +154,10 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
       assert(Gemm.validate(*EmitTC).empty());
       Configs.push_back(std::move(Gemm));
     }
+    support::traceInstant(
+        "cogent.fallback-rung",
+        {{"level", fallbackLevelName(Result.Fallback)}});
+    Result.Phases.FallbackMs = Span.elapsedMs();
   }
   if (Configs.empty())
     return Error(ErrorCode::NoValidConfig,
@@ -131,56 +172,77 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
     gpu::OccupancyResult Occ;
   };
   std::vector<Ranked> Ranking;
-  Ranking.reserve(Configs.size());
-  for (KernelConfig &Config : Configs) {
-    KernelPlan Plan(*EmitTC, Config);
-    Ranked R;
-    R.Cost = estimateTransactions(Plan, Options.ElementSize,
-                                  Device.TransactionBytes);
-    R.Occ = planOccupancy(Plan, Device, Options.ElementSize);
-    R.Config = std::move(Config);
-    Ranking.push_back(std::move(R));
+  {
+    support::TraceSpan Span("cogent.rank");
+    Span.arg("candidates", std::to_string(Configs.size()));
+    NumKernelsRanked += Configs.size();
+    Ranking.reserve(Configs.size());
+    for (KernelConfig &Config : Configs) {
+      KernelPlan Plan(*EmitTC, Config);
+      Ranked R;
+      R.Cost = estimateTransactions(Plan, Options.ElementSize,
+                                    Device.TransactionBytes);
+      R.Occ = planOccupancy(Plan, Device, Options.ElementSize);
+      R.Config = std::move(Config);
+      Ranking.push_back(std::move(R));
+    }
+    std::stable_sort(Ranking.begin(), Ranking.end(),
+                     [](const Ranked &X, const Ranked &Y) {
+                       if (X.Cost.total() != Y.Cost.total())
+                         return X.Cost.total() < Y.Cost.total();
+                       if (X.Occ.Occupancy != Y.Occ.Occupancy)
+                         return X.Occ.Occupancy > Y.Occ.Occupancy;
+                       return X.Config.threadsPerBlock() >
+                              Y.Config.threadsPerBlock();
+                     });
+    Result.Phases.RankMs = Span.elapsedMs();
   }
-  std::stable_sort(Ranking.begin(), Ranking.end(),
-                   [](const Ranked &X, const Ranked &Y) {
-                     if (X.Cost.total() != Y.Cost.total())
-                       return X.Cost.total() < Y.Cost.total();
-                     if (X.Occ.Occupancy != Y.Occ.Occupancy)
-                       return X.Occ.Occupancy > Y.Occ.Occupancy;
-                     return X.Config.threadsPerBlock() >
-                            Y.Config.threadsPerBlock();
-                   });
 
   size_t Keep = std::min(std::max<size_t>(Options.TopK, 1), Ranking.size());
   gpu::Calibration Calib = gpu::makeCalibration(Device);
   CodeGenOptions CGOptions;
   CGOptions.ElementType = Options.ElementSize == 8 ? "double" : "float";
   uint64_t SourceBytes = 0;
-  for (size_t I = 0; I < Keep; ++I) {
-    // The byte budget truncates the tail, never the head: one kernel is
-    // always materialized.
-    if (I > 0 && Options.Budget.MaxSourceBytes != 0 &&
-        SourceBytes >= Options.Budget.MaxSourceBytes) {
-      Result.SourceTruncated = true;
-      break;
+  {
+    support::TraceSpan Span("cogent.emit");
+    for (size_t I = 0; I < Keep; ++I) {
+      // The byte budget truncates the tail, never the head: one kernel is
+      // always materialized.
+      if (I > 0 && Options.Budget.MaxSourceBytes != 0 &&
+          SourceBytes >= Options.Budget.MaxSourceBytes) {
+        Result.SourceTruncated = true;
+        ++NumSourceTruncations;
+        support::traceInstant(
+            "cogent.budget-trip",
+            {{"budget", "max-source-bytes"},
+             {"emitted", std::to_string(I)},
+             {"bytes", std::to_string(SourceBytes)}});
+        break;
+      }
+      GeneratedKernel Kernel;
+      Kernel.Config = Ranking[I].Config;
+      Kernel.Cost = Ranking[I].Cost;
+      Kernel.Occupancy = Ranking[I].Occ;
+      KernelPlan Plan(*EmitTC, Kernel.Config);
+      Kernel.Source = emitCuda(Plan, CGOptions);
+      Kernel.Predicted = gpu::estimateKernelTime(
+          Device, Calib,
+          makeKernelProfile(Plan, Device, Options.ElementSize));
+      SourceBytes += Kernel.Source.KernelSource.size() +
+                     Kernel.Source.DriverSource.size();
+      Result.Kernels.push_back(std::move(Kernel));
     }
-    GeneratedKernel Kernel;
-    Kernel.Config = Ranking[I].Config;
-    Kernel.Cost = Ranking[I].Cost;
-    Kernel.Occupancy = Ranking[I].Occ;
-    KernelPlan Plan(*EmitTC, Kernel.Config);
-    Kernel.Source = emitCuda(Plan, CGOptions);
-    Kernel.Predicted = gpu::estimateKernelTime(
-        Device, Calib, makeKernelProfile(Plan, Device, Options.ElementSize));
-    SourceBytes += Kernel.Source.KernelSource.size() +
-                   Kernel.Source.DriverSource.size();
-    Result.Kernels.push_back(std::move(Kernel));
+    Span.arg("kernels", std::to_string(Result.Kernels.size()));
+    Span.arg("bytes", std::to_string(SourceBytes));
+    Result.Phases.EmitMs = Span.elapsedMs();
   }
   assert(!Result.Kernels.empty() && "generation must materialize a kernel");
 
   auto End = std::chrono::steady_clock::now();
   Result.ElapsedMs =
       std::chrono::duration<double, std::milli>(End - Start).count();
+  Result.Counters =
+      support::counterDelta(CountersBefore, support::snapshotCounters());
   return Result;
 }
 
@@ -246,8 +308,84 @@ ErrorOr<GenerationResult>
 Cogent::generate(const std::string &Spec,
                  const std::vector<std::pair<char, int64_t>> &Extents,
                  CogentOptions Options) const {
-  ErrorOr<Contraction> TC = Contraction::parse(Spec, Extents);
+  support::ScopedTraceActivation Activation(Options.Trace);
+  double ParseMs = 0.0;
+  ErrorOr<Contraction> TC = [&]() {
+    support::TraceSpan Span("cogent.parse");
+    Span.arg("spec", Spec);
+    ErrorOr<Contraction> Parsed = Contraction::parse(Spec, Extents);
+    ParseMs = Span.elapsedMs();
+    return Parsed;
+  }();
   if (!TC)
     return TC.takeError().withContext("parsing contraction \"" + Spec + "\"");
-  return generate(*TC, std::move(Options));
+  ErrorOr<GenerationResult> Result = generate(*TC, std::move(Options));
+  if (Result)
+    Result->Phases.ParseMs = ParseMs;
+  return Result;
+}
+
+std::string cogent::core::renderMetricsJson(const Contraction &TC,
+                                            const GenerationResult &Result,
+                                            const gpu::DeviceSpec &Device) {
+  support::JsonWriter W;
+  W.beginObject();
+  W.member("contraction", TC.toString());
+  W.key("extents");
+  W.beginObject();
+  for (char Name : TC.allIndices())
+    W.member(std::string(1, Name), static_cast<uint64_t>(TC.extent(Name)));
+  W.endObject();
+  W.member("device", Device.Name);
+  W.member("elapsed_ms", Result.ElapsedMs);
+
+  W.key("phases");
+  W.beginObject();
+  W.member("parse_ms", Result.Phases.ParseMs);
+  W.member("enumerate_ms", Result.Phases.EnumerateMs);
+  W.member("fallback_ms", Result.Phases.FallbackMs);
+  W.member("rank_ms", Result.Phases.RankMs);
+  W.member("emit_ms", Result.Phases.EmitMs);
+  W.endObject();
+
+  W.key("stats");
+  W.beginObject();
+  W.member("raw_configs", Result.Stats.RawConfigs);
+  W.member("examined", Result.Stats.Examined);
+  W.member("invalid", Result.Stats.InvalidConfigs);
+  W.member("hardware_pruned", Result.Stats.HardwarePruned);
+  W.member("performance_pruned", Result.Stats.PerformancePruned);
+  W.member("survivors", Result.Stats.Survivors);
+  W.member("pruned_fraction", Result.Stats.prunedFraction());
+  W.member("status", searchStatusName(Result.Stats.Status));
+  W.endObject();
+
+  W.member("fallback", fallbackLevelName(Result.Fallback));
+  W.member("source_truncated", Result.SourceTruncated);
+
+  W.key("kernels");
+  W.beginArray();
+  for (const GeneratedKernel &Kernel : Result.Kernels) {
+    W.beginObject();
+    W.member("config", Kernel.Config.toString());
+    W.member("modeled_transactions", Kernel.Cost.total());
+    W.member("transactions_a", Kernel.Cost.LoadA);
+    W.member("transactions_b", Kernel.Cost.LoadB);
+    W.member("transactions_c", Kernel.Cost.StoreC);
+    W.member("occupancy", Kernel.Occupancy.Occupancy);
+    W.member("occupancy_limiter", Kernel.Occupancy.Limiter);
+    W.member("predicted_gflops", Kernel.Predicted.Gflops);
+    W.member("predicted_time_ms", Kernel.Predicted.TimeMs);
+    W.member("bound", Kernel.Predicted.Bound);
+    W.member("source_bytes",
+             static_cast<uint64_t>(Kernel.Source.KernelSource.size() +
+                                   Kernel.Source.DriverSource.size()));
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("counters");
+  support::writeCountersJson(W, Result.Counters);
+  W.endObject();
+  return W.take();
 }

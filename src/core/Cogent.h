@@ -21,7 +21,9 @@
 #include "core/KernelConfig.h"
 #include "gpu/DeviceSpec.h"
 #include "gpu/PerfModel.h"
+#include "support/Counters.h"
 #include "support/Diagnostics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <optional>
@@ -57,6 +59,12 @@ struct CogentOptions {
   GenerationBudget Budget;
   /// Enumeration knobs; ElementSize is synced from above.
   EnumerationOptions Enumeration;
+  /// When non-null, generate() installs this sink for the duration of the
+  /// run and records phase spans (cogent.parse/enumerate/rank/emit/
+  /// fallback) plus instant events for fallback rungs and budget trips.
+  /// Null (the default) leaves whatever sink is already active untouched;
+  /// with no sink at all, tracing costs nothing.
+  support::TraceSession *Trace = nullptr;
 };
 
 /// Which rung of the guaranteed-fallback chain produced the result.
@@ -73,8 +81,15 @@ enum class FallbackLevel {
   TtgtBaseline,
 };
 
+/// Number of FallbackLevel enumerators; keep in sync when extending the
+/// enum (the name-table round-trip test walks [0, NumFallbackLevels)).
+inline constexpr unsigned NumFallbackLevels = 3;
+
 /// "none", "minimal-tile" or "ttgt".
 const char *fallbackLevelName(FallbackLevel Level);
+
+/// Inverse of fallbackLevelName; nullopt for unknown strings.
+std::optional<FallbackLevel> fallbackLevelFromName(const std::string &Name);
 
 /// One materialized kernel: its mapping, emitted source and model outputs.
 struct GeneratedKernel {
@@ -83,6 +98,20 @@ struct GeneratedKernel {
   TransactionCost Cost;
   gpu::OccupancyResult Occupancy;
   gpu::PerfEstimate Predicted;
+};
+
+/// Wall-clock breakdown of one generation run by pipeline phase,
+/// milliseconds. Measured unconditionally (a handful of monotonic clock
+/// reads per run); the same intervals appear as spans in the trace when a
+/// TraceSession is active. ParseMs is only nonzero for the string overload
+/// of generate(). FallbackMs covers constructing the fallback
+/// configuration, not ranking/emitting it.
+struct PhaseTimings {
+  double ParseMs = 0.0;
+  double EnumerateMs = 0.0;
+  double FallbackMs = 0.0;
+  double RankMs = 0.0;
+  double EmitMs = 0.0;
 };
 
 /// Result of Cogent::generate.
@@ -104,6 +133,13 @@ struct GenerationResult {
   /// paper's model-driven search takes seconds where TC's autotuner takes
   /// hours).
   double ElapsedMs = 0.0;
+  /// Per-phase breakdown of ElapsedMs.
+  PhaseTimings Phases;
+  /// What this run contributed to every registered pipeline counter
+  /// (support::Counters snapshot delta across the run). Attribution is
+  /// exact for single-generator processes; concurrent generate() calls
+  /// bleed into each other's deltas.
+  support::CounterSnapshot Counters;
 
   bool empty() const { return Kernels.empty(); }
 
@@ -150,6 +186,16 @@ std::string explainKernel(const ir::Contraction &TC,
                           const GeneratedKernel &Kernel,
                           const gpu::DeviceSpec &Device,
                           unsigned ElementSize = 8);
+
+/// Renders one generation run as a machine-readable metrics JSON document:
+/// the contraction and device, elapsed/phase timings, the full
+/// EnumerationStats (whose tallies equal the "enumerator.*" entries in the
+/// counters section by construction), fallback level, per-kernel model
+/// outputs, and the run's counter delta. Schema documented in
+/// docs/ARCHITECTURE.md §10; written by cogent_cli --metrics=FILE.
+std::string renderMetricsJson(const ir::Contraction &TC,
+                              const GenerationResult &Result,
+                              const gpu::DeviceSpec &Device);
 
 } // namespace core
 } // namespace cogent

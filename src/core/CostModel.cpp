@@ -6,11 +6,16 @@
 
 #include "core/CostModel.h"
 
+#include "support/Counters.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace cogent;
 using namespace cogent::core;
+
+COGENT_COUNTER(NumCostEvaluations, "costmodel.evaluations",
+               "Algorithm-3 transaction estimates computed");
 using cogent::ir::Operand;
 
 static int64_t ceilDiv(int64_t X, int64_t Y) { return (X + Y - 1) / Y; }
@@ -33,6 +38,7 @@ TransactionCost cogent::core::estimateTransactions(const KernelPlan &Plan,
                                                    unsigned ElementSize,
                                                    unsigned TransactionBytes) {
   assert((ElementSize == 4 || ElementSize == 8) && "unsupported element size");
+  ++NumCostEvaluations;
   int64_t ElemsPerTrans = TransactionBytes / ElementSize;
 
   TransactionCost Cost;

@@ -9,6 +9,8 @@
 #include "core/CostModel.h"
 #include "core/KernelPlan.h"
 #include "gpu/Occupancy.h"
+#include "support/Counters.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -21,6 +23,26 @@ using namespace cogent;
 using namespace cogent::core;
 using cogent::ir::Contraction;
 using cogent::ir::Operand;
+
+// Mirrors of EnumerationStats as process-wide monotonic counters (bulk-added
+// once per enumerate() run so they stay exactly in sync with the per-run
+// stats and cost nothing in the candidate loop).
+COGENT_COUNTER(NumRawConfigs, "enumerator.raw-configs",
+               "Cartesian-product size of partial configurations");
+COGENT_COUNTER(NumExamined, "enumerator.examined",
+               "full configurations examined");
+COGENT_COUNTER(NumInvalid, "enumerator.invalid",
+               "configurations rejected as structurally invalid");
+COGENT_COUNTER(NumHardwarePruned, "enumerator.hardware-pruned",
+               "configurations pruned by hardware limits");
+COGENT_COUNTER(NumPerformancePruned, "enumerator.performance-pruned",
+               "configurations pruned by performance constraints");
+COGENT_COUNTER(NumSurvivors, "enumerator.survivors",
+               "configurations surviving all pruning");
+COGENT_COUNTER(NumRelaxations, "enumerator.relaxations",
+               "runs that fell back to performance-pruned candidates");
+COGENT_COUNTER(NumBudgetTrips, "enumerator.budget-trips",
+               "enumeration runs stopped early by a resource budget");
 
 namespace {
 
@@ -232,6 +254,16 @@ const char *cogent::core::searchStatusName(SearchStatus Status) {
   return "?";
 }
 
+std::optional<SearchStatus>
+cogent::core::searchStatusFromName(const std::string &Name) {
+  for (unsigned I = 0; I < NumSearchStatuses; ++I) {
+    SearchStatus Status = static_cast<SearchStatus>(I);
+    if (Name == searchStatusName(Status))
+      return Status;
+  }
+  return std::nullopt;
+}
+
 double Enumerator::naiveSearchSpace(const Contraction &TC) {
   double NumExternal = static_cast<double>(TC.externalIndices().size());
   double NumInternal = static_cast<double>(TC.internalIndices().size());
@@ -387,7 +419,29 @@ searchDone:
   if (Stats)
     *Stats = Local;
 
-  if (Survivors.empty() && Options.RelaxWhenEmpty && !PerfPrunedOnly.empty())
+  // Mirror the per-run stats into the process-wide counters so metrics
+  // snapshots agree with EnumerationStats exactly.
+  NumRawConfigs += Local.RawConfigs;
+  NumExamined += Local.Examined;
+  NumInvalid += Local.InvalidConfigs;
+  NumHardwarePruned += Local.HardwarePruned;
+  NumPerformancePruned += Local.PerformancePruned;
+  NumSurvivors += Local.Survivors;
+  if (Local.truncated()) {
+    ++NumBudgetTrips;
+    support::traceInstant(
+        "enumerator.budget-trip",
+        {{"reason", searchStatusName(Local.Status)},
+         {"examined", std::to_string(Local.Examined)},
+         {"raw_configs", std::to_string(Local.RawConfigs)}});
+  }
+
+  if (Survivors.empty() && Options.RelaxWhenEmpty && !PerfPrunedOnly.empty()) {
+    ++NumRelaxations;
+    support::traceInstant(
+        "enumerator.relaxation",
+        {{"candidates", std::to_string(PerfPrunedOnly.size())}});
     return PerfPrunedOnly;
+  }
   return Survivors;
 }

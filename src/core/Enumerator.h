@@ -23,6 +23,8 @@
 #include "gpu/DeviceSpec.h"
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace cogent {
@@ -60,8 +62,15 @@ enum class SearchStatus {
   DeadlineHit,
 };
 
+/// Number of SearchStatus enumerators; keep in sync when extending the
+/// enum (the name-table round-trip test walks [0, NumSearchStatuses)).
+inline constexpr unsigned NumSearchStatuses = 3;
+
 /// "complete", "config-cap" or "deadline".
 const char *searchStatusName(SearchStatus Status);
+
+/// Inverse of searchStatusName; nullopt for unknown strings.
+std::optional<SearchStatus> searchStatusFromName(const std::string &Name);
 
 /// Bookkeeping for the paper's "around 97% of the configurations were
 /// pruned" statistic and the naive-search-space comparison.

@@ -8,7 +8,9 @@
 
 #include "core/KernelPlan.h"
 #include "gpu/KernelSimulator.h"
+#include "support/Counters.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 #include "tensor/Reference.h"
 
 #include <algorithm>
@@ -18,6 +20,9 @@ using namespace cogent;
 using namespace cogent::gpu;
 using cogent::ir::Contraction;
 using cogent::ir::Operand;
+
+COGENT_COUNTER(NumCandidatesMeasured, "autotune.candidates-measured",
+               "top-K candidates measured by simulation refinement");
 
 namespace {
 
@@ -40,6 +45,9 @@ cogent::gpu::refineTopKBySimulation(const Contraction &TC,
                                     unsigned ElementSize,
                                     int64_t MeasureExtent) {
   assert(!Result.Kernels.empty() && "nothing to refine");
+  support::TraceSpan Span("autotune.refine");
+  Span.arg("candidates", std::to_string(Result.Kernels.size()));
+  NumCandidatesMeasured += Result.Kernels.size();
   Contraction Small = scaledContraction(TC, MeasureExtent);
 
   Rng Generator(0xa070ULL);

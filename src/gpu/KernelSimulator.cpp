@@ -7,6 +7,8 @@
 #include "gpu/KernelSimulator.h"
 
 #include "core/CostModel.h"
+#include "support/Counters.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <array>
@@ -14,6 +16,13 @@
 
 using namespace cogent;
 using namespace cogent::gpu;
+
+COGENT_COUNTER(NumKernelsSimulated, "sim.kernels-simulated",
+               "functional kernel simulations run");
+COGENT_COUNTER(NumSimTransactions, "sim.transactions",
+               "exact 128-byte DRAM transactions counted by the simulator");
+COGENT_COUNTER(NumSimSmemBytes, "sim.smem-bytes-read",
+               "shared-memory bytes read during simulated register staging");
 using cogent::core::CoordRole;
 using cogent::core::IndexTile;
 using cogent::core::KernelPlan;
@@ -140,6 +149,10 @@ SimResult cogent::gpu::simulateKernel(const KernelPlan &Plan,
          A.numElements() == TC.numElements(Operand::A) &&
          B.numElements() == TC.numElements(Operand::B) &&
          "operand sizes do not match the contraction");
+
+  support::TraceSpan Span("sim.kernel");
+  if (Span.live())
+    Span.arg("contraction", TC.toStringWithExtents());
 
   SimResult Result;
   const int64_t TBX = Plan.tbX(), TBY = Plan.tbY();
@@ -307,6 +320,11 @@ SimResult cogent::gpu::simulateKernel(const KernelPlan &Plan,
       }
     }
   }
+  ++NumKernelsSimulated;
+  NumSimTransactions += Result.totalTransactions();
+  NumSimSmemBytes += static_cast<uint64_t>(Result.SmemBytesRead);
+  if (Span.live())
+    Span.arg("transactions", std::to_string(Result.totalTransactions()));
   return Result;
 }
 

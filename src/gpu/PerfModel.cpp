@@ -10,9 +10,24 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <string_view>
 
 using namespace cogent;
 using namespace cogent::gpu;
+
+const char *const *cogent::gpu::perfBoundNames() {
+  static const char *const Names[] = {"dram", "compute", "smem", nullptr};
+  return Names;
+}
+
+bool cogent::gpu::isPerfBoundName(const char *Name) {
+  if (!Name)
+    return false;
+  for (const char *const *N = perfBoundNames(); *N; ++N)
+    if (std::string_view(*N) == Name)
+      return true;
+  return false;
+}
 
 Calibration cogent::gpu::makeCalibration(const DeviceSpec &Device) {
   Calibration Calib;
@@ -75,9 +90,9 @@ PerfEstimate cogent::gpu::estimateKernelTime(const DeviceSpec &Device,
 
   double Longest =
       std::max({Est.DramTimeMs, Est.ComputeTimeMs, Est.SmemTimeMs});
-  Est.Bound = Longest == Est.DramTimeMs      ? "dram"
-              : Longest == Est.ComputeTimeMs ? "compute"
-                                             : "smem";
+  Est.Bound = Longest == Est.DramTimeMs      ? perfBoundNames()[0]
+              : Longest == Est.ComputeTimeMs ? perfBoundNames()[1]
+                                             : perfBoundNames()[2];
   double Slack =
       Profile.SoftwarePipelined ? Calib.OverlapSlack * 0.3 : Calib.OverlapSlack;
   Est.TimeMs = Longest * (1.0 + Slack) +

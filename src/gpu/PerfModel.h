@@ -58,9 +58,18 @@ struct PerfEstimate {
   double DramTimeMs = 0.0;
   double ComputeTimeMs = 0.0;
   double SmemTimeMs = 0.0;
-  /// Which roofline term dominated ("dram", "compute" or "smem").
+  /// Which roofline term dominated; always one of perfBoundNames().
   const char *Bound = "dram";
 };
+
+/// The closed set of strings PerfEstimate::Bound can take, nullptr-
+/// terminated ({"dram", "compute", "smem", nullptr}). estimateKernelTime
+/// must pick Bound from this table; the name-table test enforces it so a
+/// new roofline term cannot ship without a reportable name.
+const char *const *perfBoundNames();
+
+/// True when \p Name is one of perfBoundNames().
+bool isPerfBoundName(const char *Name);
 
 /// Per-architecture calibration of achievable efficiency. Defaults are
 /// chosen per device (Pascal sustains a lower fraction of its peak DRAM

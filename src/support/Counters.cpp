@@ -1,0 +1,77 @@
+//===- support/Counters.cpp ----------------------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Counters.h"
+
+#include "support/JsonWriter.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace cogent;
+using namespace cogent::support;
+
+namespace {
+
+/// Head of the process-wide registry. Lock-free push-front: counters are
+/// only ever added (static storage duration), never removed.
+std::atomic<Counter *> &registryHead() {
+  static std::atomic<Counter *> Head{nullptr};
+  return Head;
+}
+
+} // namespace
+
+Counter::Counter(const char *Name, const char *Description)
+    : Name(Name), Description(Description) {
+  std::atomic<Counter *> &Head = registryHead();
+  Counter *Expected = Head.load(std::memory_order_relaxed);
+  do {
+    Next = Expected;
+  } while (!Head.compare_exchange_weak(Expected, this,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed));
+}
+
+CounterSnapshot cogent::support::snapshotCounters() {
+  CounterSnapshot Snapshot;
+  for (Counter *C = registryHead().load(std::memory_order_acquire); C;
+       C = C->Next)
+    Snapshot.push_back({C->name(), C->description(), C->value()});
+  std::sort(Snapshot.begin(), Snapshot.end(),
+            [](const CounterValue &X, const CounterValue &Y) {
+              return std::strcmp(X.Name, Y.Name) < 0;
+            });
+  return Snapshot;
+}
+
+CounterSnapshot cogent::support::counterDelta(const CounterSnapshot &Before,
+                                              const CounterSnapshot &After) {
+  CounterSnapshot Delta;
+  Delta.reserve(After.size());
+  size_t BeforeIdx = 0;
+  for (const CounterValue &AfterValue : After) {
+    // Both snapshots are name-sorted; advance the Before cursor in step.
+    while (BeforeIdx < Before.size() &&
+           std::strcmp(Before[BeforeIdx].Name, AfterValue.Name) < 0)
+      ++BeforeIdx;
+    uint64_t Base = 0;
+    if (BeforeIdx < Before.size() &&
+        std::strcmp(Before[BeforeIdx].Name, AfterValue.Name) == 0)
+      Base = Before[BeforeIdx].Value;
+    Delta.push_back(
+        {AfterValue.Name, AfterValue.Description, AfterValue.Value - Base});
+  }
+  return Delta;
+}
+
+void cogent::support::writeCountersJson(JsonWriter &W,
+                                        const CounterSnapshot &Snapshot) {
+  W.beginObject();
+  for (const CounterValue &Entry : Snapshot)
+    W.member(Entry.Name, Entry.Value);
+  W.endObject();
+}

@@ -1,0 +1,97 @@
+//===- support/Counters.h - Named monotonic pipeline counters -------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-STATISTIC-style named counters: each pipeline component declares
+/// file-static Counter objects (via COGENT_COUNTER) that register themselves
+/// in a process-wide intrusive list at construction. Counters are monotonic,
+/// thread-safe (relaxed atomics) and always on — incrementing one is a
+/// single relaxed fetch_add, cheap enough to leave in hot paths.
+///
+/// Per-run attribution works by snapshotting: Cogent::generate snapshots
+/// the registry before and after a run and stores the delta in
+/// GenerationResult::Counters, so CLI metrics files and tests can report
+/// exactly what one generation did even though the registry is process-wide
+/// (concurrent generate() calls will see each other's increments in their
+/// deltas; attribute per-run numbers only in single-generator processes).
+///
+/// Naming convention: "<component>.<noun>" in kebab-case, e.g.
+/// "enumerator.hardware-pruned" — see docs/ARCHITECTURE.md §10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_SUPPORT_COUNTERS_H
+#define COGENT_SUPPORT_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cogent {
+namespace support {
+
+class JsonWriter;
+
+/// One named monotonic counter. Construct with static storage duration only
+/// (the registry keeps a pointer and never unregisters).
+class Counter {
+public:
+  Counter(const char *Name, const char *Description);
+
+  void add(uint64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  Counter &operator+=(uint64_t N) {
+    add(N);
+    return *this;
+  }
+  Counter &operator++() {
+    add(1);
+    return *this;
+  }
+
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  const char *name() const { return Name; }
+  const char *description() const { return Description; }
+
+private:
+  friend std::vector<struct CounterValue> snapshotCounters();
+
+  const char *Name;
+  const char *Description;
+  std::atomic<uint64_t> Value{0};
+  Counter *Next = nullptr; // intrusive registry link
+};
+
+/// One counter's value at snapshot time. Name/Description point at the
+/// counter's static strings and stay valid for the process lifetime.
+struct CounterValue {
+  const char *Name = nullptr;
+  const char *Description = nullptr;
+  uint64_t Value = 0;
+};
+
+/// All registered counters, sorted by name for deterministic output.
+using CounterSnapshot = std::vector<CounterValue>;
+CounterSnapshot snapshotCounters();
+
+/// Per-entry After - Before. Entries present only in \p After (counters
+/// whose translation unit registered between the snapshots) keep their
+/// absolute value; zero-delta entries are retained so consumers see the
+/// full, stable counter table.
+CounterSnapshot counterDelta(const CounterSnapshot &Before,
+                             const CounterSnapshot &After);
+
+/// Writes \p Snapshot as one JSON object {"name": value, ...} into \p W
+/// (the writer must be positioned where a value is expected).
+void writeCountersJson(JsonWriter &W, const CounterSnapshot &Snapshot);
+
+} // namespace support
+} // namespace cogent
+
+/// Declares a file-static registered counter.
+#define COGENT_COUNTER(Var, Name, Desc)                                        \
+  static ::cogent::support::Counter Var(Name, Desc)
+
+#endif // COGENT_SUPPORT_COUNTERS_H

@@ -1,0 +1,352 @@
+//===- support/JsonWriter.h - Dependency-free JSON emission/checking -------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal streaming JSON writer (and a matching validity checker) shared
+/// by the tracing sink, the counter/metrics exporter, the CLI and the bench
+/// harness reporters. Header-only and dependency-free on purpose: the
+/// observability layer must never pull a third-party serializer into the
+/// core libraries.
+///
+/// The writer inserts commas automatically and escapes strings per RFC
+/// 8259. Non-finite doubles (which JSON cannot represent) are emitted as
+/// null. The checker is a recursive-descent parser that accepts exactly the
+/// RFC 8259 grammar; tests and scripts/run_all.sh use it to reject
+/// malformed trace/metrics/bench files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_SUPPORT_JSONWRITER_H
+#define COGENT_SUPPORT_JSONWRITER_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cogent {
+namespace support {
+
+/// Streaming JSON writer over an owned string buffer.
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("name"); W.value("eq1");
+///   W.key("gflops"); W.value(1234.5);
+///   W.endObject();
+///   std::string Out = W.take();
+class JsonWriter {
+public:
+  JsonWriter() { Buffer.reserve(256); }
+
+  void beginObject() { beginValue(); Buffer += '{'; push(/*IsObject=*/true); }
+  void endObject() { pop(); Buffer += '}'; }
+  void beginArray() { beginValue(); Buffer += '['; push(/*IsObject=*/false); }
+  void endArray() { pop(); Buffer += ']'; }
+
+  /// Emits an object key. Must alternate with exactly one value inside an
+  /// object scope.
+  void key(const std::string &Name) {
+    separate();
+    appendEscaped(Name);
+    Buffer += ':';
+    PendingKey = true;
+  }
+
+  void value(const std::string &S) { beginValue(); appendEscaped(S); }
+  void value(const char *S) { value(std::string(S)); }
+  void value(bool B) { beginValue(); Buffer += B ? "true" : "false"; }
+  void value(double D) {
+    beginValue();
+    if (!std::isfinite(D)) {
+      Buffer += "null"; // JSON has no NaN/Inf
+      return;
+    }
+    char Tmp[32];
+    std::snprintf(Tmp, sizeof(Tmp), "%.17g", D);
+    Buffer += Tmp;
+  }
+  void value(uint64_t U) {
+    beginValue();
+    Buffer += std::to_string(U);
+  }
+  void value(int64_t I) { beginValue(); Buffer += std::to_string(I); }
+  void value(int I) { value(static_cast<int64_t>(I)); }
+  void value(unsigned U) { value(static_cast<uint64_t>(U)); }
+  void null() { beginValue(); Buffer += "null"; }
+
+  /// Convenience: key + value in one call.
+  template <typename T> void member(const std::string &Name, T &&V) {
+    key(Name);
+    value(std::forward<T>(V));
+  }
+
+  const std::string &str() const { return Buffer; }
+  std::string take() { return std::move(Buffer); }
+
+private:
+  struct Scope {
+    bool IsObject = false;
+    bool HasEntries = false;
+  };
+
+  void push(bool IsObject) { Scopes.push_back({IsObject, false}); }
+  void pop() {
+    if (!Scopes.empty())
+      Scopes.pop_back();
+  }
+  /// Emits the separating comma when a sibling entry precedes this one.
+  void separate() {
+    if (!Scopes.empty()) {
+      if (Scopes.back().HasEntries)
+        Buffer += ',';
+      Scopes.back().HasEntries = true;
+    }
+  }
+  /// Called before every value: array elements need their own comma, object
+  /// values had it emitted by key().
+  void beginValue() {
+    if (PendingKey)
+      PendingKey = false;
+    else
+      separate();
+  }
+
+  void appendEscaped(const std::string &S) {
+    Buffer += '"';
+    for (char C : S) {
+      switch (C) {
+      case '"': Buffer += "\\\""; break;
+      case '\\': Buffer += "\\\\"; break;
+      case '\n': Buffer += "\\n"; break;
+      case '\r': Buffer += "\\r"; break;
+      case '\t': Buffer += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Tmp[8];
+          std::snprintf(Tmp, sizeof(Tmp), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(C)));
+          Buffer += Tmp;
+        } else {
+          Buffer += C;
+        }
+      }
+    }
+    Buffer += '"';
+  }
+
+  std::string Buffer;
+  std::vector<Scope> Scopes;
+  bool PendingKey = false;
+};
+
+namespace json_detail {
+
+/// Recursive-descent RFC 8259 checker over [P, End).
+class Checker {
+public:
+  Checker(const char *P, const char *End) : P(P), End(End) {}
+
+  bool run(std::string *Err) {
+    skipWs();
+    if (!parseValue()) {
+      if (Err)
+        *Err = Error + " at offset " + std::to_string(Offset());
+      return false;
+    }
+    skipWs();
+    if (P != End) {
+      if (Err)
+        *Err = "trailing garbage at offset " + std::to_string(Offset());
+      return false;
+    }
+    return true;
+  }
+
+private:
+  size_t Offset() const { return static_cast<size_t>(P - Begin); }
+
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool fail(const char *Msg) {
+    Error = Msg;
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    for (; *Word; ++Word, ++P)
+      if (P == End || *P != *Word)
+        return fail("bad literal");
+    return true;
+  }
+
+  bool parseString() {
+    if (P == End || *P != '"')
+      return fail("expected string");
+    ++P;
+    while (P != End && *P != '"') {
+      if (static_cast<unsigned char>(*P) < 0x20)
+        return fail("unescaped control character in string");
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return fail("truncated escape");
+        switch (*P) {
+        case '"': case '\\': case '/': case 'b': case 'f':
+        case 'n': case 'r': case 't':
+          ++P;
+          break;
+        case 'u':
+          ++P;
+          for (int I = 0; I < 4; ++I, ++P)
+            if (P == End || !std::isxdigit(static_cast<unsigned char>(*P)))
+              return fail("bad \\u escape");
+          break;
+        default:
+          return fail("bad escape character");
+        }
+      } else {
+        ++P;
+      }
+    }
+    if (P == End)
+      return fail("unterminated string");
+    ++P; // closing quote
+    return true;
+  }
+
+  bool parseNumber() {
+    if (P != End && *P == '-')
+      ++P;
+    if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+      return fail("bad number");
+    if (*P == '0')
+      ++P;
+    else
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    if (P != End && *P == '.') {
+      ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return fail("bad fraction");
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    if (P != End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P != End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return fail("bad exponent");
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    return true;
+  }
+
+  bool parseValue() {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
+    bool Ok = parseValueImpl();
+    --Depth;
+    return Ok;
+  }
+
+  bool parseValueImpl() {
+    if (P == End)
+      return fail("unexpected end of input");
+    switch (*P) {
+    case '{': {
+      ++P;
+      skipWs();
+      if (P != End && *P == '}') {
+        ++P;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        if (!parseString())
+          return false;
+        skipWs();
+        if (P == End || *P != ':')
+          return fail("expected ':'");
+        ++P;
+        skipWs();
+        if (!parseValue())
+          return false;
+        skipWs();
+        if (P != End && *P == ',') {
+          ++P;
+          continue;
+        }
+        if (P != End && *P == '}') {
+          ++P;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    case '[': {
+      ++P;
+      skipWs();
+      if (P != End && *P == ']') {
+        ++P;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        if (!parseValue())
+          return false;
+        skipWs();
+        if (P != End && *P == ',') {
+          ++P;
+          continue;
+        }
+        if (P != End && *P == ']') {
+          ++P;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    case '"':
+      return parseString();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return parseNumber();
+    }
+  }
+
+  static constexpr int MaxDepth = 256;
+  const char *P;
+  const char *Begin = P;
+  const char *End;
+  int Depth = 0;
+  std::string Error;
+};
+
+} // namespace json_detail
+
+/// Returns true when \p Text is one well-formed RFC 8259 JSON value; on
+/// failure \p Err (when non-null) receives a one-line reason with offset.
+inline bool validateJson(const std::string &Text, std::string *Err = nullptr) {
+  json_detail::Checker C(Text.data(), Text.data() + Text.size());
+  return C.run(Err);
+}
+
+} // namespace support
+} // namespace cogent
+
+#endif // COGENT_SUPPORT_JSONWRITER_H

@@ -1,0 +1,114 @@
+//===- tests/test_explain.cpp - explainKernel report tests -----------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the shape of the human-readable kernel report behind --explain:
+/// for a TCCG suite kernel the report must carry the index-mapping table,
+/// the block/grid geometry, the occupancy line with its limiting resource,
+/// the per-tensor traffic breakdown, and the roofline verdict. These are
+/// substring tests on structure, not on model numbers — the numbers move
+/// with calibration, the sections must not silently disappear.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "gpu/PerfModel.h"
+#include "suite/TccgSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cogent;
+
+namespace {
+
+/// Generates the best kernel for TCCG entry \p Id and renders its report.
+std::string explainSuiteEntry(int Id, const gpu::DeviceSpec &Device) {
+  const suite::SuiteEntry &Entry = suite::suiteEntry(Id);
+  ir::Contraction TC = Entry.contraction();
+  core::Cogent Generator(Device);
+  ErrorOr<core::GenerationResult> Result = Generator.generate(TC, {});
+  EXPECT_TRUE(Result.hasValue());
+  if (!Result)
+    return "";
+  return core::explainKernel(TC, Result->best(),
+                             Device, /*ElementSize=*/8);
+}
+
+TEST(Explain, ReportCarriesMappingTable) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  std::string Report = explainSuiteEntry(1, Device);
+
+  EXPECT_NE(Report.find("contraction "), std::string::npos);
+  EXPECT_NE(Report.find(" on V100"), std::string::npos);
+  EXPECT_NE(Report.find("mapping     "), std::string::npos);
+  // The per-index table: header plus one row per index of the entry.
+  EXPECT_NE(Report.find("idx  kind       reuses  mapped-to  tile  extent"),
+            std::string::npos);
+  const suite::SuiteEntry &Entry = suite::suiteEntry(1);
+  ir::Contraction TC = Entry.contraction();
+  for (char Name : TC.allIndices())
+    EXPECT_NE(Report.find(std::string("\n  ") + Name + "    "),
+              std::string::npos)
+        << "no table row for index '" << Name << "'";
+  EXPECT_NE(Report.find("external"), std::string::npos);
+  EXPECT_NE(Report.find("internal"), std::string::npos);
+}
+
+TEST(Explain, ReportCarriesGeometryAndOccupancy) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  std::string Report = explainSuiteEntry(1, Device);
+
+  EXPECT_NE(Report.find("block       "), std::string::npos);
+  EXPECT_NE(Report.find("register tile "), std::string::npos);
+  EXPECT_NE(Report.find("grid        "), std::string::npos);
+  EXPECT_NE(Report.find(" blocks, "), std::string::npos);
+  EXPECT_NE(Report.find("smem        "), std::string::npos);
+  EXPECT_NE(Report.find(" bytes/block"), std::string::npos);
+  EXPECT_NE(Report.find("regs/thread"), std::string::npos);
+
+  // The occupancy line names its limiting resource.
+  size_t OccPos = Report.find("occupancy   ");
+  ASSERT_NE(OccPos, std::string::npos);
+  EXPECT_NE(Report.find("limited by ", OccPos), std::string::npos);
+}
+
+TEST(Explain, ReportCarriesTrafficBreakdownAndRooflineVerdict) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  std::string Report = explainSuiteEntry(1, Device);
+
+  // Per-tensor transaction breakdown: A + B + C = total.
+  size_t TrafficPos = Report.find("traffic     ");
+  ASSERT_NE(TrafficPos, std::string::npos);
+  EXPECT_NE(Report.find(" (A) + ", TrafficPos), std::string::npos);
+  EXPECT_NE(Report.find(" (B) + ", TrafficPos), std::string::npos);
+  EXPECT_NE(Report.find(" (C) = ", TrafficPos), std::string::npos);
+  EXPECT_NE(Report.find(" transactions", TrafficPos), std::string::npos);
+
+  // Roofline verdict: GFLOPS plus one of the closed bound names.
+  size_t RooflinePos = Report.find("roofline    ");
+  ASSERT_NE(RooflinePos, std::string::npos);
+  EXPECT_NE(Report.find(" GFLOPS (", RooflinePos), std::string::npos);
+  bool NamedBound = false;
+  for (const char *const *Bound = gpu::perfBoundNames(); *Bound; ++Bound)
+    NamedBound |= Report.find(std::string(*Bound) + " bound)",
+                              RooflinePos) != std::string::npos;
+  EXPECT_TRUE(NamedBound) << Report.substr(RooflinePos);
+  EXPECT_NE(Report.find(" ms\n", RooflinePos), std::string::npos);
+}
+
+TEST(Explain, ReportStructureHoldsOnP100Too) {
+  gpu::DeviceSpec Device = gpu::makeP100();
+  std::string Report = explainSuiteEntry(5, Device);
+  EXPECT_NE(Report.find(" on P100"), std::string::npos);
+  for (const char *Section : {"mapping     ", "block       ", "grid        ",
+                              "occupancy   ", "traffic     ",
+                              "roofline    "})
+    EXPECT_NE(Report.find(Section), std::string::npos) << Section;
+}
+
+} // namespace

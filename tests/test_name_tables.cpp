@@ -1,0 +1,120 @@
+//===- tests/test_name_tables.cpp - Enum name-table round-trip tests -------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reporting layer serializes three closed string sets — fallback
+/// levels, search statuses, roofline bound names — into metrics/trace JSON.
+/// These tests pin the tables: every enumerator has a distinct, non-"?"
+/// name, every name round-trips through the FromName inverse, and unknown
+/// strings are rejected. Extending an enum without extending its table (or
+/// the Num* constant) fails here rather than silently emitting "?".
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cogent.h"
+#include "core/Enumerator.h"
+#include "gpu/PerfModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+using namespace cogent;
+
+namespace {
+
+TEST(NameTables, FallbackLevelRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < core::NumFallbackLevels; ++I) {
+    auto Level = static_cast<core::FallbackLevel>(I);
+    const char *Name = core::fallbackLevelName(Level);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "level " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate fallback level name '" << Name << "'";
+    auto Back = core::fallbackLevelFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Level);
+  }
+}
+
+TEST(NameTables, FallbackLevelRejectsUnknownNames) {
+  EXPECT_FALSE(core::fallbackLevelFromName("").has_value());
+  EXPECT_FALSE(core::fallbackLevelFromName("?").has_value());
+  EXPECT_FALSE(core::fallbackLevelFromName("NONE").has_value());
+  EXPECT_FALSE(core::fallbackLevelFromName("minimal-tile ").has_value());
+}
+
+TEST(NameTables, SearchStatusRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < core::NumSearchStatuses; ++I) {
+    auto Status = static_cast<core::SearchStatus>(I);
+    const char *Name = core::searchStatusName(Status);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "status " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate search status name '" << Name << "'";
+    auto Back = core::searchStatusFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Status);
+  }
+}
+
+TEST(NameTables, SearchStatusRejectsUnknownNames) {
+  EXPECT_FALSE(core::searchStatusFromName("").has_value());
+  EXPECT_FALSE(core::searchStatusFromName("?").has_value());
+  EXPECT_FALSE(core::searchStatusFromName("Complete!").has_value());
+}
+
+TEST(NameTables, PerfBoundTableIsClosedAndDistinct) {
+  const char *const *Names = gpu::perfBoundNames();
+  ASSERT_NE(Names, nullptr);
+  std::set<std::string> Seen;
+  size_t Count = 0;
+  for (const char *const *N = Names; *N; ++N, ++Count) {
+    EXPECT_TRUE(Seen.insert(*N).second) << "duplicate bound name " << *N;
+    EXPECT_TRUE(gpu::isPerfBoundName(*N));
+  }
+  // One name per roofline term: DRAM, compute, shared memory.
+  EXPECT_EQ(Count, 3u);
+  EXPECT_FALSE(gpu::isPerfBoundName(nullptr));
+  EXPECT_FALSE(gpu::isPerfBoundName(""));
+  EXPECT_FALSE(gpu::isPerfBoundName("DRAM"));
+}
+
+TEST(NameTables, EstimateKernelTimePicksBoundFromTable) {
+  gpu::DeviceSpec Device = gpu::makeV100();
+  gpu::Calibration Calib = gpu::makeCalibration(Device);
+
+  // Three profiles engineered so each roofline term dominates in turn.
+  gpu::KernelProfile DramHeavy;
+  DramHeavy.Flops = 1e6;
+  DramHeavy.DramBytes = 1e12;
+  gpu::KernelProfile ComputeHeavy;
+  ComputeHeavy.Flops = 1e13;
+  ComputeHeavy.DramBytes = 1e3;
+  gpu::KernelProfile SmemHeavy;
+  SmemHeavy.Flops = 1e3;
+  SmemHeavy.DramBytes = 1e3;
+  SmemHeavy.SmemBytes = 1e13;
+
+  for (const gpu::KernelProfile &Profile :
+       {DramHeavy, ComputeHeavy, SmemHeavy}) {
+    gpu::PerfEstimate Est = gpu::estimateKernelTime(Device, Calib, Profile);
+    EXPECT_TRUE(gpu::isPerfBoundName(Est.Bound))
+        << "Bound '" << Est.Bound << "' not in perfBoundNames()";
+  }
+  EXPECT_STREQ(gpu::estimateKernelTime(Device, Calib, DramHeavy).Bound,
+               "dram");
+  EXPECT_STREQ(gpu::estimateKernelTime(Device, Calib, ComputeHeavy).Bound,
+               "compute");
+  EXPECT_STREQ(gpu::estimateKernelTime(Device, Calib, SmemHeavy).Bound,
+               "smem");
+}
+
+} // namespace
