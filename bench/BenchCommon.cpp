@@ -88,6 +88,7 @@ cogent::bench::runTccgComparison(const gpu::DeviceSpec &Device,
       Row.CogentConfig = Result->best().Config.toString();
       Row.CogentElapsedMs = Result->ElapsedMs;
       Row.PredictedTransactions = Result->best().Cost.total();
+      Row.VerifierRejections = Result->VerifierRejections;
       if (Options.SimTraffic)
         crossCheckTraffic(Row, TC, Result->best().Config, ElementSize,
                           Options);
@@ -188,6 +189,7 @@ cogent::bench::renderComparisonJson(const std::vector<ComparisonRow> &Rows,
     W.member("cogent_config", Row.CogentConfig);
     W.member("codegen_ms", Row.CogentElapsedMs);
     W.member("predicted_transactions", Row.PredictedTransactions);
+    W.member("verifier_rejections", Row.VerifierRejections);
     if (Row.SimExtent > 0) {
       W.key("traffic_cross_check");
       W.beginObject();
@@ -208,9 +210,13 @@ cogent::bench::renderComparisonJson(const std::vector<ComparisonRow> &Rows,
   W.member("geomean_speedup_vs_nwchem", geomeanSpeedup(Rows, true));
   W.member("geomean_speedup_vs_talsh", geomeanSpeedup(Rows, false));
   double TotalGenMs = 0.0;
-  for (const ComparisonRow &Row : Rows)
+  uint64_t TotalRejections = 0;
+  for (const ComparisonRow &Row : Rows) {
     TotalGenMs += Row.CogentElapsedMs;
+    TotalRejections += Row.VerifierRejections;
+  }
   W.member("total_codegen_ms", TotalGenMs);
+  W.member("total_verifier_rejections", TotalRejections);
   W.endObject();
   W.endObject();
   return W.take();

@@ -18,6 +18,7 @@
 #include "gpu/DeviceSpec.h"
 #include "suite/TccgSuite.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,9 @@ struct ComparisonRow {
   int64_t SimExtent = 0;
   double SimPredictedTransactions = 0.0;
   double SimMeasuredTransactions = 0.0;
+  /// Candidates the PlanVerifier rejected while generating this row's
+  /// kernel (docs/ARCHITECTURE.md §11); the winner itself always passed.
+  uint64_t VerifierRejections = 0;
 };
 
 /// Knobs for runTccgComparison beyond the element size.

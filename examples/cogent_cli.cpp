@@ -13,12 +13,15 @@
 ///   cogent_cli <C-A-B spec> [uniform-extent] [--device p100|v100]
 ///              [--fp32] [--topk N] [--opencl] [--double-buffer]
 ///              [--max-configs N] [--deadline-ms X] [--max-source-bytes N]
+///              [--smem-per-block N] [--transaction-bytes N]
+///              [--chaos-seed N] [--chaos-sites LIST]
 ///              [--trace=FILE] [--metrics=FILE] [--quiet]
 /// Examples:
 ///   cogent_cli abcd-aebf-dfce 72
 ///   cogent_cli abcdef-gdab-efgc 16 --device p100 --fp32
 ///   cogent_cli ij-ik-kj 4096 --opencl --double-buffer
 ///   cogent_cli ab-ac-cb 1024 --trace=t.json --metrics=m.json --quiet
+///   cogent_cli abc-abd-dc 64 --chaos-seed 7 --chaos-sites all
 ///
 /// --trace writes a Chrome trace-event JSON file (open it in
 /// chrome://tracing or https://ui.perfetto.dev) with one span per pipeline
@@ -27,9 +30,21 @@
 /// --quiet suppresses the stderr report and the stdout source dump so
 /// scripted runs produce only the requested files (errors still print).
 ///
-/// Exit codes: 0 = success, 1 = the input was rejected with a diagnostic
-/// (printed to stderr as "error: <Code>: <context>: <message>") or an
-/// output file could not be written, 2 = usage error.
+/// --chaos-seed/--chaos-sites arm the deterministic fault-injection layer
+/// (builds configured with COGENT_CHAOS=ON, the default): --chaos-sites
+/// takes "all" or a comma-separated subset of the named sites in
+/// support/FaultInjection.h, and the seed makes every injected fault
+/// reproducible. --smem-per-block/--transaction-bytes override those two
+/// fields of the selected device — the supported way to point the pipeline
+/// at a constrained (or hostile) device from a script.
+///
+/// Exit codes: 0 = success — including runs where the plan verifier
+/// rejected candidates and the fallback chain rescued the result (a
+/// one-line "# notice:" marks those unless --quiet); 1 = the input was
+/// rejected with a diagnostic (printed to stderr as "error: <Code>:
+/// <context>: <message>", e.g. InvalidDeviceSpec for a nonsense device or
+/// VerificationFailed when no fallback rung could produce a verified
+/// kernel) or an output file could not be written, 2 = usage error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 using namespace cogent;
@@ -50,7 +66,9 @@ static void printUsage(const char *Argv0) {
                "usage: %s <C-A-B spec> [uniform-extent] "
                "[--device p100|v100] [--fp32] [--topk N] [--opencl] "
                "[--double-buffer] [--explain] [--max-configs N] "
-               "[--deadline-ms X] [--max-source-bytes N] [--trace=FILE] "
+               "[--deadline-ms X] [--max-source-bytes N] "
+               "[--smem-per-block N] [--transaction-bytes N] "
+               "[--chaos-seed N] [--chaos-sites LIST] [--trace=FILE] "
                "[--metrics=FILE] [--quiet]\n",
                Argv0);
 }
@@ -124,6 +142,23 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--max-source-bytes" && I + 1 < Argc) {
       Options.Budget.MaxSourceBytes =
           static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (Arg == "--smem-per-block" && I + 1 < Argc) {
+      Device.SharedMemPerBlock = static_cast<unsigned>(std::atoll(Argv[++I]));
+    } else if (Arg == "--transaction-bytes" && I + 1 < Argc) {
+      Device.TransactionBytes = static_cast<unsigned>(std::atoll(Argv[++I]));
+    } else if (Arg == "--chaos-seed" && I + 1 < Argc) {
+      Options.Chaos.Seed = static_cast<uint64_t>(std::atoll(Argv[++I]));
+      if (Options.Chaos.Sites == 0)
+        Options.Chaos.Sites = support::AllChaosSites;
+    } else if (Arg == "--chaos-sites" && I + 1 < Argc) {
+      std::string List = Argv[++I];
+      std::optional<uint32_t> Sites = support::parseChaosSites(List);
+      if (!Sites) {
+        std::fprintf(stderr, "error: unknown chaos site in '%s'\n",
+                     List.c_str());
+        return 2;
+      }
+      Options.Chaos.Sites = *Sites;
     } else if (Arg[0] != '-') {
       if (Spec.empty()) {
         Spec = Arg;
@@ -193,6 +228,16 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // A rescued verification failure is still a success (exit 0): the
+  // verifier rejected candidates but a later attempt or fallback rung
+  // produced a verified kernel. One notice line marks it for log readers.
+  if (!Quiet && Result->VerifierRejections > 0)
+    std::fprintf(stderr,
+                 "# notice: plan verifier rejected %llu candidate(s); "
+                 "rescued — emitted kernel passed verification "
+                 "(fallback '%s')\n",
+                 static_cast<unsigned long long>(Result->VerifierRejections),
+                 core::fallbackLevelName(Result->Fallback));
   if (!Quiet) {
     std::fprintf(stderr,
                  "# %s on %s: %llu candidates -> %llu survivors in %.1f ms\n",

@@ -30,6 +30,14 @@ cmake --build build
 # Fast lane first: the tier1 label excludes the long fuzz / full-scale
 # sweeps, so structural breakage surfaces in seconds...
 ctest --test-dir build -L tier1 --output-on-failure 2>&1 | tee test_output.txt
+# ...then the chaos lane: the deterministic fault-injection sweeps
+# (seed x site). The lane only exists when COGENT_CHAOS is ON, so skip
+# it when empty rather than letting ctest fail on "no tests found" —
+# but never mask a real chaos test failure.
+if ctest --test-dir build -L chaos -N | grep -q "Total Tests: [1-9]"; then
+  ctest --test-dir build -L chaos --output-on-failure 2>&1 \
+    | tee chaos_output.txt
+fi
 # ...then the full suite (slow tests included) for the record.
 ctest --test-dir build 2>&1 | tee -a test_output.txt
 
@@ -63,6 +71,33 @@ for b in build/bench/*; do
     echo | tee -a bench_output.txt
   fi
 done
+
+# Bounded chaos CLI sweep: drive the real binary through a deterministic
+# all-sites seed sweep. Every run must exit 0 — the plan verifier either
+# accepts the ranked plan or the fallback chain rescues the run — and
+# must emit well-formed metrics JSON. The per-seed metrics are validated
+# with json_lint and folded into bench_artifacts/ so they land in
+# bench_output.json under the "chaos_sweep" key.
+rm -rf chaos_artifacts && mkdir -p chaos_artifacts
+for seed in 1 2 3 4 5 6 7 8; do
+  build/examples/cogent_cli "abc-abd-dc" 24 --quiet \
+    --chaos-seed "$seed" --chaos-sites all \
+    --metrics="chaos_artifacts/seed_${seed}.json"
+done
+"$JSON_LINT" chaos_artifacts/*.json
+{
+  printf '{'
+  first=1
+  for f in chaos_artifacts/seed_*.json; do
+    seed=$(basename "$f" .json)
+    if [ "$first" -eq 1 ]; then first=0; else printf ','; fi
+    printf '"%s":' "$seed"
+    cat "$f"
+  done
+  printf '}'
+} > bench_artifacts/chaos_sweep.json
+"$JSON_LINT" bench_artifacts/chaos_sweep.json
+echo "chaos sweep: 8 seeds, all sites, artifacts validated"
 
 if compgen -G "bench_artifacts/*.json" >/dev/null; then
   "$JSON_LINT" bench_artifacts/*.json

@@ -14,6 +14,7 @@
 #include "core/CodeGen.h"
 
 #include "support/Counters.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -457,6 +458,11 @@ GeneratedSource cogent::core::emitCuda(const KernelPlan &Plan,
   DS << ");\n";
   DS << "}\n";
   Out.DriverSource = DS.str();
+  // Chaos site: a truncated emission (interrupted write). Dropping the back
+  // half of the kernel leaves unclosed braces for verifySource to find;
+  // Cogent::generate re-emits or demotes on that verdict.
+  if (support::chaosShouldFire(support::ChaosSite::CodegenTruncate))
+    Out.KernelSource.resize(Out.KernelSource.size() / 2);
   ++NumKernelsEmitted;
   NumBytesEmitted += Out.KernelSource.size() + Out.DriverSource.size();
   return Out;

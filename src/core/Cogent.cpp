@@ -8,9 +8,11 @@
 
 #include "core/KernelPlan.h"
 #include "support/JsonWriter.h"
+#include "verify/PlanVerifier.h"
 
 #include <algorithm>
 #include <chrono>
+#include <new>
 #include <sstream>
 
 using namespace cogent;
@@ -27,6 +29,11 @@ COGENT_COUNTER(NumSourceTruncations, "cogent.source-truncations",
                "runs whose emission was stopped by MaxSourceBytes");
 COGENT_COUNTER(NumKernelsRanked, "cogent.kernels-ranked",
                "candidate kernels scored by the cost model ranking");
+COGENT_COUNTER(NumEnumerationsAborted, "cogent.enumerations-aborted",
+               "enumerations that died mid-search (allocation failure) and "
+               "restarted on the fallback chain");
+COGENT_COUNTER(NumVerifierDemotions, "cogent.verifier-demotions",
+               "fallback-rung demotions caused by verification failures");
 
 const char *cogent::core::fallbackLevelName(FallbackLevel Level) {
   switch (Level) {
@@ -114,75 +121,112 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
                                            CogentOptions Options) const {
   auto Start = std::chrono::steady_clock::now();
   support::ScopedTraceActivation Activation(Options.Trace);
+
+  // Never trust the caller's device description: a hostile or corrupted
+  // spec is a typed error here, not nonsense plans downstream.
+  if (ErrorOr<void> DeviceCheck = Device.validate(); !DeviceCheck)
+    return DeviceCheck.takeError().withContext("generating " + TC.toString());
+
   support::CounterSnapshot CountersBefore = support::snapshotCounters();
   ++NumGenerateRuns;
   support::TraceSpan GenerateSpan("cogent.generate");
   GenerateSpan.arg("contraction", TC.toStringWithExtents());
   GenerateSpan.arg("device", Device.Name);
 
+  // Install this run's fault injector, if chaos was requested. With no
+  // sites enabled the pipeline's chaos hooks stay disarmed.
+  std::optional<support::FaultInjector> Injector;
+  if (Options.Chaos.enabled())
+    Injector.emplace(Options.Chaos);
+  support::ScopedChaosActivation ChaosActivation(Injector ? &*Injector
+                                                          : nullptr);
+
   Options.Enumeration.ElementSize = Options.ElementSize;
   Options.Enumeration.MaxConfigs = Options.Budget.MaxConfigs;
   Options.Enumeration.DeadlineMs = Options.Budget.DeadlineMs;
-  Enumerator Enum(TC, Device, Options.Enumeration);
   GenerationResult Result;
   std::vector<KernelConfig> Configs;
   {
     support::TraceSpan Span("cogent.enumerate");
-    Configs = Enum.enumerate(&Result.Stats);
+    try {
+      Enumerator Enum(TC, Device, Options.Enumeration);
+      Configs = Enum.enumerate(&Result.Stats);
+    } catch (const std::bad_alloc &) {
+      // Allocation failure mid-search (real or injected): discard the
+      // partial search and continue on the fallback chain — the no-kernel
+      // guarantee outranks the lost candidates.
+      Configs.clear();
+      Result.EnumerationAborted = true;
+      ++NumEnumerationsAborted;
+      support::traceInstant("cogent.enumeration-aborted");
+    }
     Span.arg("survivors", std::to_string(Configs.size()));
     Result.Phases.EnumerateMs = Span.elapsedMs();
   }
 
-  // The guaranteed-fallback chain: pruned search -> minimal tiles -> TTGT.
-  const Contraction *EmitTC = &TC;
-  if (Configs.empty()) {
-    support::TraceSpan Span("cogent.fallback");
-    KernelConfig Minimal;
-    if (buildMinimalConfig(TC, Device, Options.ElementSize, &Minimal)) {
-      Result.Fallback = FallbackLevel::MinimalTile;
-      ++NumFallbackMinimal;
-      Configs.push_back(std::move(Minimal));
-    } else {
-      Result.Fallback = FallbackLevel::TtgtBaseline;
-      ++NumFallbackTtgt;
-      Result.FallbackContraction = buildTtgtGemm(TC);
-      EmitTC = &*Result.FallbackContraction;
-      char GemmFvi = EmitTC->fvi(ir::Operand::C);
-      KernelConfig Gemm;
-      Gemm.XInput = EmitTC->inputContaining(GemmFvi);
-      Gemm.TBx = {{GemmFvi, 1}};
-      assert(Gemm.validate(*EmitTC).empty());
-      Configs.push_back(std::move(Gemm));
-    }
-    support::traceInstant(
-        "cogent.fallback-rung",
-        {{"level", fallbackLevelName(Result.Fallback)}});
-    Result.Phases.FallbackMs = Span.elapsedMs();
+  // Chaos site: the working device limits shrink *after* enumeration
+  // pruned against the original ones — a driver reporting different
+  // numbers than the search assumed. Survivors that no longer fit must now
+  // be caught by the verifier and demoted, not emitted.
+  gpu::DeviceSpec Run = Device;
+  if (support::chaosShouldFire(support::ChaosSite::DeviceMutate)) {
+    Run.Name += "+chaos";
+    Run.SharedMemPerBlock = std::max(1024u, Run.SharedMemPerBlock / 2);
+    Run.SharedMemPerSM = std::max(Run.SharedMemPerBlock,
+                                  Run.SharedMemPerSM / 2);
+    Run.MaxThreadsPerBlock = std::max(32u, Run.MaxThreadsPerBlock / 2);
+    Run.MaxRegistersPerThread = std::max(40u, Run.MaxRegistersPerThread / 2);
+    Result.DeviceMutated = true;
+    assert(Run.validate().hasValue() && "chaos mutation must stay valid");
   }
-  if (Configs.empty())
-    return Error(ErrorCode::NoValidConfig,
-                 "no valid kernel configuration for contraction " +
-                     TC.toString());
 
-  // Rank every surviving configuration by modeled DRAM transactions;
-  // tie-break toward higher occupancy, then more threads (determinism).
+  const verify::PlanVerifier Verifier(Run, Options.ElementSize);
+  auto NoteRejection = [&](const Error &E) {
+    ++Result.VerifierRejections;
+    if (Result.VerifierNotes.size() < 8)
+      Result.VerifierNotes.push_back(E.render());
+    support::traceInstant("cogent.verifier-reject", {{"error", E.message()}});
+  };
+
   struct Ranked {
     KernelConfig Config;
     TransactionCost Cost;
     gpu::OccupancyResult Occ;
   };
-  std::vector<Ranked> Ranking;
-  {
+
+  // Rank the candidates that pass verification by modeled DRAM
+  // transactions; tie-break toward higher occupancy, then more threads
+  // (determinism). A failed cost-sanity check re-estimates (a transiently
+  // lying cost model costs retries, not the candidate); a failed plan
+  // check drops the candidate outright.
+  auto rankVerified = [&](std::vector<KernelConfig> &Candidates,
+                          const Contraction &RankTC) {
     support::TraceSpan Span("cogent.rank");
-    Span.arg("candidates", std::to_string(Configs.size()));
-    NumKernelsRanked += Configs.size();
-    Ranking.reserve(Configs.size());
-    for (KernelConfig &Config : Configs) {
-      KernelPlan Plan(*EmitTC, Config);
+    Span.arg("candidates", std::to_string(Candidates.size()));
+    NumKernelsRanked += Candidates.size();
+    constexpr unsigned CostRetries = 4;
+    std::vector<Ranked> Ranking;
+    Ranking.reserve(Candidates.size());
+    for (KernelConfig &Config : Candidates) {
+      KernelPlan Plan(RankTC, Config);
+      if (ErrorOr<void> PlanCheck = Verifier.verifyPlan(Plan); !PlanCheck) {
+        NoteRejection(PlanCheck.error());
+        continue;
+      }
       Ranked R;
-      R.Cost = estimateTransactions(Plan, Options.ElementSize,
-                                    Device.TransactionBytes);
-      R.Occ = planOccupancy(Plan, Device, Options.ElementSize);
+      bool CostOk = false;
+      for (unsigned Attempt = 0; Attempt < CostRetries && !CostOk;
+           ++Attempt) {
+        R.Cost = estimateTransactions(Plan, Options.ElementSize,
+                                      Run.TransactionBytes);
+        ErrorOr<void> CostCheck = Verifier.verifyCost(Plan, R.Cost);
+        CostOk = CostCheck.hasValue();
+        if (!CostOk)
+          NoteRejection(CostCheck.error());
+      }
+      if (!CostOk)
+        continue;
+      R.Occ = planOccupancy(Plan, Run, Options.ElementSize);
       R.Config = std::move(Config);
       Ranking.push_back(std::move(R));
     }
@@ -195,27 +239,35 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
                        return X.Config.threadsPerBlock() >
                               Y.Config.threadsPerBlock();
                      });
-    Result.Phases.RankMs = Span.elapsedMs();
-  }
+    Result.Phases.RankMs += Span.elapsedMs();
+    return Ranking;
+  };
 
-  size_t Keep = std::min(std::max<size_t>(Options.TopK, 1), Ranking.size());
-  gpu::Calibration Calib = gpu::makeCalibration(Device);
+  gpu::Calibration Calib = gpu::makeCalibration(Run);
   CodeGenOptions CGOptions;
   CGOptions.ElementType = Options.ElementSize == 8 ? "double" : "float";
-  uint64_t SourceBytes = 0;
-  {
+
+  // Emit the top-K verified plans. Every emission is source-verified; a
+  // failed emission (e.g. injected truncation) is retried before the
+  // candidate is given up on. Returns true when at least one kernel was
+  // materialized — the rung succeeded.
+  auto emitVerified = [&](std::vector<Ranked> &Ranking,
+                          const Contraction &EmitTC) {
     support::TraceSpan Span("cogent.emit");
+    constexpr unsigned EmitRetries = 6;
+    size_t Keep = std::min(std::max<size_t>(Options.TopK, 1), Ranking.size());
+    uint64_t SourceBytes = 0;
     for (size_t I = 0; I < Keep; ++I) {
       // The byte budget truncates the tail, never the head: one kernel is
       // always materialized.
-      if (I > 0 && Options.Budget.MaxSourceBytes != 0 &&
+      if (!Result.Kernels.empty() && Options.Budget.MaxSourceBytes != 0 &&
           SourceBytes >= Options.Budget.MaxSourceBytes) {
         Result.SourceTruncated = true;
         ++NumSourceTruncations;
         support::traceInstant(
             "cogent.budget-trip",
             {{"budget", "max-source-bytes"},
-             {"emitted", std::to_string(I)},
+             {"emitted", std::to_string(Result.Kernels.size())},
              {"bytes", std::to_string(SourceBytes)}});
         break;
       }
@@ -223,19 +275,93 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
       Kernel.Config = Ranking[I].Config;
       Kernel.Cost = Ranking[I].Cost;
       Kernel.Occupancy = Ranking[I].Occ;
-      KernelPlan Plan(*EmitTC, Kernel.Config);
-      Kernel.Source = emitCuda(Plan, CGOptions);
+      KernelPlan Plan(EmitTC, Kernel.Config);
+      bool SourceOk = false;
+      for (unsigned Attempt = 0; Attempt < EmitRetries && !SourceOk;
+           ++Attempt) {
+        Kernel.Source = emitCuda(Plan, CGOptions);
+        ErrorOr<void> SourceCheck = Verifier.verifySource(Kernel.Source);
+        SourceOk = SourceCheck.hasValue();
+        if (!SourceOk)
+          NoteRejection(SourceCheck.error());
+      }
+      if (!SourceOk)
+        continue;
       Kernel.Predicted = gpu::estimateKernelTime(
-          Device, Calib,
-          makeKernelProfile(Plan, Device, Options.ElementSize));
+          Run, Calib, makeKernelProfile(Plan, Run, Options.ElementSize));
       SourceBytes += Kernel.Source.KernelSource.size() +
                      Kernel.Source.DriverSource.size();
       Result.Kernels.push_back(std::move(Kernel));
     }
     Span.arg("kernels", std::to_string(Result.Kernels.size()));
     Span.arg("bytes", std::to_string(SourceBytes));
-    Result.Phases.EmitMs = Span.elapsedMs();
+    Result.Phases.EmitMs += Span.elapsedMs();
+    return !Result.Kernels.empty();
+  };
+
+  // The guaranteed-fallback chain, each rung gated by the verifier:
+  // pruned search -> minimal tiles -> TTGT. A rung that produces no
+  // verified, emitted kernel demotes to the next.
+  bool Done = false;
+  if (!Configs.empty()) {
+    std::vector<Ranked> Ranking = rankVerified(Configs, TC);
+    if (!Ranking.empty())
+      Done = emitVerified(Ranking, TC);
+    if (!Done)
+      ++NumVerifierDemotions;
   }
+
+  if (!Done) {
+    support::TraceSpan Span("cogent.fallback");
+    KernelConfig Minimal;
+    if (buildMinimalConfig(TC, Run, Options.ElementSize, &Minimal)) {
+      Result.Fallback = FallbackLevel::MinimalTile;
+      ++NumFallbackMinimal;
+      support::traceInstant(
+          "cogent.fallback-rung",
+          {{"level", fallbackLevelName(FallbackLevel::MinimalTile)}});
+      std::vector<KernelConfig> One;
+      One.push_back(std::move(Minimal));
+      std::vector<Ranked> Ranking = rankVerified(One, TC);
+      if (!Ranking.empty())
+        Done = emitVerified(Ranking, TC);
+      if (!Done)
+        ++NumVerifierDemotions;
+    }
+    Result.Phases.FallbackMs += Span.elapsedMs();
+  }
+
+  if (!Done) {
+    support::TraceSpan Span("cogent.fallback");
+    Result.Fallback = FallbackLevel::TtgtBaseline;
+    ++NumFallbackTtgt;
+    Result.FallbackContraction = buildTtgtGemm(TC);
+    const Contraction &Gemm = *Result.FallbackContraction;
+    support::traceInstant(
+        "cogent.fallback-rung",
+        {{"level", fallbackLevelName(FallbackLevel::TtgtBaseline)}});
+    char GemmFvi = Gemm.fvi(ir::Operand::C);
+    KernelConfig GemmConfig;
+    GemmConfig.XInput = Gemm.inputContaining(GemmFvi);
+    GemmConfig.TBx = {{GemmFvi, 1}};
+    assert(GemmConfig.validate(Gemm).empty());
+    std::vector<KernelConfig> One;
+    One.push_back(std::move(GemmConfig));
+    std::vector<Ranked> Ranking = rankVerified(One, Gemm);
+    if (!Ranking.empty())
+      Done = emitVerified(Ranking, Gemm);
+    Result.Phases.FallbackMs += Span.elapsedMs();
+  }
+
+  if (!Done)
+    // Even the TTGT rung could not produce a verified kernel — an
+    // unrescued verification failure (e.g. a device whose limits are valid
+    // but below any kernel's footprint).
+    return Error(ErrorCode::VerificationFailed,
+                 "no kernel for contraction " + TC.toString() +
+                     " passed verification on device " + Run.Name + " (" +
+                     std::to_string(Result.VerifierRejections) +
+                     " rejections)");
   assert(!Result.Kernels.empty() && "generation must materialize a kernel");
 
   auto End = std::chrono::steady_clock::now();
@@ -362,6 +488,9 @@ std::string cogent::core::renderMetricsJson(const Contraction &TC,
 
   W.member("fallback", fallbackLevelName(Result.Fallback));
   W.member("source_truncated", Result.SourceTruncated);
+  W.member("verifier_rejections", Result.VerifierRejections);
+  W.member("enumeration_aborted", Result.EnumerationAborted);
+  W.member("device_mutated", Result.DeviceMutated);
 
   W.key("kernels");
   W.beginArray();

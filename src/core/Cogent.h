@@ -23,6 +23,7 @@
 #include "gpu/PerfModel.h"
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -65,6 +66,11 @@ struct CogentOptions {
   /// Null (the default) leaves whatever sink is already active untouched;
   /// with no sink at all, tracing costs nothing.
   support::TraceSession *Trace = nullptr;
+  /// Deterministic fault injection for this run (Seed + site mask; see
+  /// support/FaultInjection.h). Disabled by default; generate() installs a
+  /// FaultInjector for the run's duration when a site mask is set. Only
+  /// effective in builds configured with COGENT_CHAOS=ON.
+  support::ChaosOptions Chaos;
 };
 
 /// Which rung of the guaranteed-fallback chain produced the result.
@@ -138,8 +144,22 @@ struct GenerationResult {
   /// What this run contributed to every registered pipeline counter
   /// (support::Counters snapshot delta across the run). Attribution is
   /// exact for single-generator processes; concurrent generate() calls
-  /// bleed into each other's deltas.
+  /// bleed into each other's deltas. Chaos firings appear here as the
+  /// "chaos.fired.*" entries.
   support::CounterSnapshot Counters;
+  /// Candidate plans/costs/sources the PlanVerifier rejected during this
+  /// run (each rejection either retried or demoted toward the next
+  /// fallback rung, never emitted).
+  uint64_t VerifierRejections = 0;
+  /// Rendered messages of the first few verifier rejections, for reports.
+  std::vector<std::string> VerifierNotes;
+  /// True when enumeration died mid-search (allocation failure — real or
+  /// chaos-injected) and the run restarted on the fallback chain.
+  bool EnumerationAborted = false;
+  /// True when the device-mutate chaos site shrank the working DeviceSpec
+  /// after enumeration (so ranking/verification saw tighter limits than
+  /// the search did).
+  bool DeviceMutated = false;
 
   bool empty() const { return Kernels.empty(); }
 

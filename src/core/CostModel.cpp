@@ -7,6 +7,7 @@
 #include "core/CostModel.h"
 
 #include "support/Counters.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -58,6 +59,16 @@ TransactionCost cogent::core::estimateTransactions(const KernelPlan &Plan,
   Cost.StoreC =
       transactionsPerSlice(CSliceElems, Plan.contiguousRunC(), ElemsPerTrans) *
       static_cast<double>(Plan.numBlocks());
+  // Chaos site: a misranking cost model. All three components scale by one
+  // factor so the lie is self-consistent; PlanVerifier::verifyCost catches
+  // estimates perturbed below the compulsory-traffic bound.
+  if (support::chaosShouldFire(support::ChaosSite::CostPerturb)) {
+    double Factor = support::activeFaultInjector()->perturbFactor(
+        support::ChaosSite::CostPerturb);
+    Cost.LoadA *= Factor;
+    Cost.LoadB *= Factor;
+    Cost.StoreC *= Factor;
+  }
   return Cost;
 }
 

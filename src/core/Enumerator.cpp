@@ -10,12 +10,14 @@
 #include "core/KernelPlan.h"
 #include "gpu/Occupancy.h"
 #include "support/Counters.h"
+#include "support/FaultInjection.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <new>
 #include <set>
 #include <string>
 
@@ -357,6 +359,12 @@ Enumerator::enumerate(EnumerationStats *Stats) const {
     }
     return false;
   };
+
+  // Chaos site: a simulated allocation failure mid-search. Thrown (not
+  // returned) because that is how a real bad_alloc would surface here;
+  // Cogent::generate contains it and demotes to the fallback chain.
+  if (support::chaosShouldFire(support::ChaosSite::EnumeratorAlloc))
+    throw std::bad_alloc();
 
   for (const PartialConfig &X : XPartials) {
     for (const PartialConfig &Y : YPartials) {

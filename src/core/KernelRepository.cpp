@@ -6,12 +6,40 @@
 
 #include "core/KernelRepository.h"
 
+#include "support/Counters.h"
+#include "support/FaultInjection.h"
+
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 using namespace cogent;
 using namespace cogent::core;
+
+COGENT_COUNTER(NumCacheEntriesLoaded, "repository.entries-loaded",
+               "intact on-disk cache entries re-generated into versions");
+COGENT_COUNTER(NumCacheMisses, "repository.cache-misses",
+               "on-disk cache entries rejected as corrupt/truncated/"
+               "version-mismatched");
+
+/// The on-disk cache format version. Bump on any layout change: a mismatch
+/// is a full cache miss, never a best-effort parse of an older layout.
+static const char *const RepoMagic = "COGENTREPO v2";
+
+/// FNV-1a over the entry payload; cheap, stable across platforms, and
+/// plenty to catch bit rot and truncation (this is integrity, not
+/// authentication).
+static uint64_t fnv1a(const std::string &Data) {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (unsigned char Ch : Data) {
+    Hash ^= Ch;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
 
 ErrorOr<size_t> KernelRepository::addRepresentative(
     const std::vector<std::pair<char, int64_t>> &Extents) {
@@ -65,4 +93,138 @@ const KernelVersion &KernelRepository::selectFor(
     }
   }
   return Versions[BestIdx];
+}
+
+ErrorOr<void> KernelRepository::saveToFile(const std::string &Path) const {
+  std::ostringstream OS;
+  OS << RepoMagic << "\n";
+  OS << "spec " << Spec << "\n";
+  for (const KernelVersion &Version : Versions) {
+    std::ostringstream Payload;
+    Payload << Spec;
+    for (const auto &[Name, Extent] : Version.RepresentativeExtents)
+      Payload << " " << Name << "=" << Extent;
+    OS << "entry" << Payload.str().substr(Spec.size()) << " fnv1a="
+       << std::hex << fnv1a(Payload.str()) << std::dec << "\n";
+  }
+  std::ofstream File(Path, std::ios::trunc);
+  if (!File || !(File << OS.str()) || !File.flush())
+    return Error(ErrorCode::CorruptCache,
+                 "cannot write repository cache '" + Path + "'");
+  return {};
+}
+
+ErrorOr<size_t>
+KernelRepository::loadFromFile(const std::string &Path,
+                               std::vector<Error> *Warnings) {
+  std::ifstream File(Path);
+  if (!File)
+    return Error(ErrorCode::CorruptCache,
+                 "cannot read repository cache '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  std::string Content = Buffer.str();
+
+  // Chaos site: bit rot on the cache medium. Corrupting the in-memory copy
+  // after the read models a bad sector without touching the real file; the
+  // checksum/parse hardening below must absorb it as a miss.
+  if (support::chaosShouldFire(support::ChaosSite::RepositoryCorrupt)) {
+    support::FaultInjector *Injector = support::activeFaultInjector();
+    for (size_t I = 0; I < Content.size(); I += 37)
+      Content[I] = static_cast<char>(Injector->corruptByte(I));
+  }
+
+  auto Warn = [&](std::string Message) {
+    ++NumCacheMisses;
+    if (Warnings)
+      Warnings->push_back(Error(ErrorCode::CorruptCache, std::move(Message))
+                              .withContext("loading '" + Path + "'"));
+  };
+
+  std::istringstream Lines(Content);
+  std::string Line;
+  if (!std::getline(Lines, Line) || Line != RepoMagic)
+    return Error(ErrorCode::CorruptCache,
+                 "repository cache '" + Path +
+                     "' has a missing or incompatible version header "
+                     "(expected '" + std::string(RepoMagic) + "')");
+  if (!std::getline(Lines, Line) || Line.rfind("spec ", 0) != 0) {
+    Warn("cache truncated before the spec line");
+    return size_t(0);
+  }
+  if (Line.substr(5) != Spec) {
+    Warn("cache is for contraction '" + Line.substr(5) +
+         "', not this repository's '" + Spec + "'");
+    return size_t(0);
+  }
+
+  size_t Loaded = 0;
+  unsigned LineNo = 2;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Tag;
+    LS >> Tag;
+    if (Tag != "entry") {
+      Warn("line " + std::to_string(LineNo) + ": unrecognized record '" +
+           Tag + "'");
+      continue;
+    }
+    std::vector<std::pair<char, int64_t>> Extents;
+    std::string Token;
+    std::optional<uint64_t> Checksum;
+    bool Malformed = false;
+    std::ostringstream Payload;
+    Payload << Spec;
+    while (LS >> Token) {
+      if (Token.rfind("fnv1a=", 0) == 0) {
+        const char *Digits = Token.c_str() + 6;
+        char *End = nullptr;
+        unsigned long long Value = std::strtoull(Digits, &End, 16);
+        if (End != Digits && *End == '\0')
+          Checksum = static_cast<uint64_t>(Value);
+        else
+          Malformed = true;
+        break;
+      }
+      char Name = 0;
+      long long Extent = 0;
+      char Eq = 0;
+      std::istringstream TS(Token);
+      if (!(TS >> Name >> Eq >> Extent) || Eq != '=' || Name < 'a' ||
+          Name > 'z' || Extent <= 0) {
+        Malformed = true;
+        break;
+      }
+      Extents.emplace_back(Name, static_cast<int64_t>(Extent));
+      Payload << " " << Name << "=" << Extent;
+    }
+    if (Malformed || Extents.empty()) {
+      Warn("line " + std::to_string(LineNo) + ": malformed cache entry");
+      continue;
+    }
+    if (!Checksum) {
+      Warn("line " + std::to_string(LineNo) +
+           ": entry is truncated (no checksum)");
+      continue;
+    }
+    if (*Checksum != fnv1a(Payload.str())) {
+      Warn("line " + std::to_string(LineNo) +
+           ": checksum mismatch (corrupt entry)");
+      continue;
+    }
+    // Intact entry: re-generate rather than trusting any serialized kernel,
+    // so a loaded version is exactly as verified as a fresh one.
+    ErrorOr<size_t> Added = addRepresentative(Extents);
+    if (!Added) {
+      Warn("line " + std::to_string(LineNo) + ": entry re-generation failed: " +
+           Added.errorMessage());
+      continue;
+    }
+    ++NumCacheEntriesLoaded;
+    ++Loaded;
+  }
+  return Loaded;
 }

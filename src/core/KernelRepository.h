@@ -62,6 +62,24 @@ public:
   const KernelVersion &
   selectFor(const std::vector<std::pair<char, int64_t>> &ActualExtents) const;
 
+  /// Writes the repository's representative-size list as a versioned,
+  /// checksummed text cache ("COGENTREPO v2" header, one FNV-1a-guarded
+  /// line per entry). Kernels are not serialized: generation is
+  /// deterministic, so an entry re-generates from its extents on load.
+  /// ErrorCode::CorruptCache when the file cannot be written.
+  ErrorOr<void> saveToFile(const std::string &Path) const;
+
+  /// Loads a cache written by saveToFile, re-generating one version per
+  /// intact entry and returning how many were loaded. A missing/unreadable
+  /// file or a wrong/missing version header is an ErrorCode::CorruptCache
+  /// error; a corrupt, truncated or checksum-mismatched *entry* is
+  /// appended to \p Warnings (if non-null) as a CorruptCache diagnostic and
+  /// skipped — a cache miss, never a crash and never silent reuse of bad
+  /// data. Entries whose spec disagrees with this repository's are rejected
+  /// the same way.
+  ErrorOr<size_t> loadFromFile(const std::string &Path,
+                               std::vector<Error> *Warnings = nullptr);
+
 private:
   const Cogent &Generator;
   std::string Spec;

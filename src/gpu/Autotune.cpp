@@ -9,6 +9,7 @@
 #include "core/KernelPlan.h"
 #include "gpu/KernelSimulator.h"
 #include "support/Counters.h"
+#include "support/FaultInjection.h"
 #include "support/Random.h"
 #include "support/Trace.h"
 #include "tensor/Reference.h"
@@ -73,6 +74,11 @@ cogent::gpu::refineTopKBySimulation(const Contraction &TC,
         makeProfileFromSim(Plan, Device, ElementSize, Sim);
     Candidate.MeasuredGflops =
         estimateKernelTime(Device, Calib, Profile).Gflops;
+    // Chaos site: a hostile autotuner whose measurements misrank the top-K.
+    // Every candidate it promotes is still a verified plan, so a misranking
+    // can cost performance but never validity.
+    Candidate.MeasuredGflops = support::chaosPerturb(
+        support::ChaosSite::AutotuneMisrank, Candidate.MeasuredGflops);
     if (Candidate.MeasuredGflops > BestGflops) {
       BestGflops = Candidate.MeasuredGflops;
       Refined.WinnerIndex = I;

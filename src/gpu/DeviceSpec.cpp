@@ -9,6 +9,54 @@
 using namespace cogent;
 using namespace cogent::gpu;
 
+ErrorOr<void> DeviceSpec::validate() const {
+  auto Invalid = [&](const std::string &What) -> Error {
+    return Error(ErrorCode::InvalidDeviceSpec,
+                 "device '" + (Name.empty() ? "<unnamed>" : Name) + "': " +
+                     What);
+  };
+  if (NumSMs == 0)
+    return Invalid("SM count must be positive");
+  if (CoresPerSM == 0)
+    return Invalid("cores per SM must be positive");
+  if (SharedMemPerSM == 0)
+    return Invalid("shared memory per SM must be positive");
+  if (SharedMemPerBlock == 0)
+    return Invalid("shared memory per block must be positive");
+  if (SharedMemPerBlock > SharedMemPerSM)
+    return Invalid("per-block shared memory (" +
+                   std::to_string(SharedMemPerBlock) +
+                   " B) exceeds the SM capacity (" +
+                   std::to_string(SharedMemPerSM) + " B)");
+  if (RegistersPerSM == 0)
+    return Invalid("register file size must be positive");
+  if (MaxRegistersPerThread == 0)
+    return Invalid("per-thread register cap must be positive");
+  if (WarpSize == 0)
+    return Invalid("warp size must be positive");
+  if (MaxThreadsPerSM == 0 || MaxThreadsPerSM % WarpSize != 0)
+    return Invalid("threads per SM (" + std::to_string(MaxThreadsPerSM) +
+                   ") must be a positive multiple of the warp size (" +
+                   std::to_string(WarpSize) + ")");
+  if (MaxThreadsPerBlock == 0)
+    return Invalid("threads per block must be positive");
+  if (MaxThreadsPerBlock > MaxThreadsPerSM)
+    return Invalid("per-block thread limit (" +
+                   std::to_string(MaxThreadsPerBlock) +
+                   ") exceeds the SM thread limit (" +
+                   std::to_string(MaxThreadsPerSM) + ")");
+  if (MaxBlocksPerSM == 0)
+    return Invalid("blocks per SM must be positive");
+  if (TransactionBytes == 0 || TransactionBytes % 128 != 0)
+    return Invalid("transaction size (" + std::to_string(TransactionBytes) +
+                   " B) must be a positive multiple of 128");
+  if (!(DramBandwidthGBs > 0.0))
+    return Invalid("DRAM bandwidth must be positive");
+  if (!(PeakGflopsDouble > 0.0) || !(PeakGflopsSingle > 0.0))
+    return Invalid("peak arithmetic throughput must be positive");
+  return {};
+}
+
 DeviceSpec cogent::gpu::makeP100() {
   DeviceSpec Spec;
   Spec.Name = "P100";

@@ -16,6 +16,8 @@
 #ifndef COGENT_GPU_DEVICESPEC_H
 #define COGENT_GPU_DEVICESPEC_H
 
+#include "support/Diagnostics.h"
+
 #include <cstdint>
 #include <string>
 
@@ -59,6 +61,14 @@ struct DeviceSpec {
   double KernelLaunchOverheadUs = 5.0;
 
   unsigned maxWarpsPerSM() const { return MaxThreadsPerSM / WarpSize; }
+
+  /// Checks that the spec describes a physically plausible device: positive
+  /// SM count, shared memory, bandwidth and thread limits; a warp-divisible
+  /// block limit; and a 128-multiple transaction size (the coalescing model
+  /// assumes full 128-byte DRAM sectors). Every pipeline entry point calls
+  /// this before trusting the spec, so hostile or corrupted DeviceSpecs
+  /// surface as ErrorCode::InvalidDeviceSpec instead of nonsense plans.
+  ErrorOr<void> validate() const;
 };
 
 /// Tesla P100 (Pascal, 56 SMs) as used in the paper's Fig. 4/6.

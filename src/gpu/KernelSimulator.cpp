@@ -8,6 +8,7 @@
 
 #include "core/CostModel.h"
 #include "support/Counters.h"
+#include "support/FaultInjection.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -319,6 +320,20 @@ SimResult cogent::gpu::simulateKernel(const KernelPlan &Plan,
         }
       }
     }
+  }
+  // Chaos site: a lying measurement channel. The numerics above are already
+  // correct and untouched; only the reported traffic skews, exercising every
+  // consumer that trusts simulator counts (autotune ranking, profiles, the
+  // differential traffic cross-check).
+  if (support::chaosShouldFire(support::ChaosSite::SimTrafficSkew)) {
+    double Factor = support::activeFaultInjector()->perturbFactor(
+        support::ChaosSite::SimTrafficSkew);
+    auto Skew = [Factor](uint64_t N) {
+      return static_cast<uint64_t>(static_cast<double>(N) * Factor) + 1;
+    };
+    Result.TransactionsA = Skew(Result.TransactionsA);
+    Result.TransactionsB = Skew(Result.TransactionsB);
+    Result.TransactionsC = Skew(Result.TransactionsC);
   }
   ++NumKernelsSimulated;
   NumSimTransactions += Result.totalTransactions();

@@ -22,6 +22,12 @@ const char *cogent::errorCodeName(ErrorCode Code) {
     return "BudgetExceeded";
   case ErrorCode::NoValidConfig:
     return "NoValidConfig";
+  case ErrorCode::InvalidDeviceSpec:
+    return "InvalidDeviceSpec";
+  case ErrorCode::VerificationFailed:
+    return "VerificationFailed";
+  case ErrorCode::CorruptCache:
+    return "CorruptCache";
   }
   assert(false && "unknown error code");
   return "?";

@@ -18,6 +18,7 @@
 #define COGENT_SUPPORT_DIAGNOSTICS_H
 
 #include <cassert>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -41,7 +42,20 @@ enum class ErrorCode {
   BudgetExceeded,
   /// Enumeration produced no valid configuration.
   NoValidConfig,
+  /// A DeviceSpec failed DeviceSpec::validate() (zero SM count, zero
+  /// shared memory, non-128-multiple transaction size, ...).
+  InvalidDeviceSpec,
+  /// A KernelPlan (or emitted source) failed the PlanVerifier's invariant
+  /// checks and no fallback rung could absorb the failure.
+  VerificationFailed,
+  /// An on-disk repository cache entry was corrupt, truncated or written
+  /// by an incompatible version (always a cache miss, never silent reuse).
+  CorruptCache,
 };
+
+/// Number of ErrorCode enumerators; keep in sync when extending the enum
+/// (the name-table round-trip test walks [0, NumErrorCodes)).
+inline constexpr unsigned NumErrorCodes = 9;
 
 /// Stable identifier string, e.g. "InvalidSpec".
 const char *errorCodeName(ErrorCode Code);
@@ -144,6 +158,46 @@ public:
 
 private:
   std::variant<T, Error> Storage;
+};
+
+/// Success-or-Error for operations with no payload (validators, verifiers).
+/// Default construction is success; mirrors the ErrorOr<T> accessors so
+/// call sites and tests treat both uniformly.
+template <> class ErrorOr<void> {
+public:
+  ErrorOr() = default;
+  ErrorOr(Error E) : Err(std::move(E)) {}
+
+  /// True on success.
+  explicit operator bool() const { return !Err.has_value(); }
+  bool hasValue() const { return !Err.has_value(); }
+
+  /// The held error. Only valid when !hasValue().
+  const Error &error() const {
+    assert(Err.has_value() && "accessing error of a success result");
+    return *Err;
+  }
+
+  ErrorCode errorCode() const { return error().code(); }
+  std::string errorMessage() const { return error().render(); }
+
+  Error takeError() {
+    assert(Err.has_value() && "taking error of a success result");
+    Error Out = std::move(*Err);
+    Err.reset();
+    return Out;
+  }
+
+  /// Adds a context frame to the held error, if any; success passes
+  /// through.
+  ErrorOr<void> withContext(std::string Frame) && {
+    if (hasValue())
+      return {};
+    return takeError().withContext(std::move(Frame));
+  }
+
+private:
+  std::optional<Error> Err;
 };
 
 } // namespace cogent

@@ -185,17 +185,29 @@ void checkNumerics(const Contraction &TC, const core::GenerationResult &R,
       << core::fallbackLevelName(R.Fallback);
 }
 
-/// One pipeline iteration: returns false if the input was rejected (after
-/// asserting the rejection was a typed error).
-bool runPipeline(const std::string &Spec,
-                 const std::vector<std::pair<char, int64_t>> &Extents,
-                 Rng &Gen, bool CheckNumerics) {
+/// How one pipeline iteration ended.
+enum class PipelineOutcome {
+  /// Parse + generate succeeded and the invariants held.
+  Generated,
+  /// The spec/extents were rejected at parse with a typed error.
+  InputRejected,
+  /// The (deliberately hostile) device was rejected with a typed error —
+  /// InvalidDeviceSpec up front or VerificationFailed when even TTGT
+  /// cannot fit.
+  DeviceRejected,
+};
+
+/// One pipeline iteration; every rejection path asserts the error is typed.
+PipelineOutcome runPipeline(
+    const std::string &Spec,
+    const std::vector<std::pair<char, int64_t>> &Extents, Rng &Gen,
+    bool CheckNumerics) {
   ErrorOr<Contraction> TC = Contraction::parse(Spec, Extents);
   if (!TC) {
     EXPECT_NE(TC.errorCode(), ErrorCode::Unknown)
         << "untyped parse error for \"" << Spec << "\"";
     EXPECT_FALSE(TC.error().message().empty());
-    return false;
+    return PipelineOutcome::InputRejected;
   }
 
   gpu::DeviceSpec Device = randomDevice(Gen);
@@ -215,10 +227,19 @@ bool runPipeline(const std::string &Spec,
   }
 
   ErrorOr<core::GenerationResult> Result = Generator.generate(*TC, Options);
-  EXPECT_TRUE(Result.hasValue())
-      << "well-formed contraction rejected: " << TC->toStringWithExtents();
-  if (!Result)
-    return false;
+  if (!Result) {
+    // Hostile devices are no longer silently absorbed: a nonsense spec
+    // (zero shared memory) is rejected up front as InvalidDeviceSpec, and
+    // a valid-but-starved device that cannot host even the TTGT kernel is
+    // an unrescued VerificationFailed. Anything else is a regression.
+    EXPECT_TRUE(Result.errorCode() == ErrorCode::InvalidDeviceSpec ||
+                Result.errorCode() == ErrorCode::VerificationFailed)
+        << "well-formed contraction rejected with unexpected code "
+        << errorCodeName(Result.errorCode()) << ": "
+        << TC->toStringWithExtents() << " on " << Device.Name;
+    EXPECT_FALSE(Result.error().message().empty());
+    return PipelineOutcome::DeviceRejected;
+  }
   EXPECT_FALSE(Result->empty()) << TC->toStringWithExtents();
   EXPECT_LE(Result->Stats.Examined, Result->Stats.RawConfigs);
   if (Result->Stats.truncated()) {
@@ -233,12 +254,12 @@ bool runPipeline(const std::string &Spec,
 
   if (CheckNumerics && !Result->empty())
     checkNumerics(*TC, *Result, Gen);
-  return true;
+  return PipelineOutcome::Generated;
 }
 
 TEST(FuzzPipeline, ThousandsOfSeededIterationsNeverCrash) {
   Rng Gen(0xC06E27);
-  int WellFormed = 0, Rejected = 0;
+  int WellFormed = 0, Rejected = 0, DeviceRejected = 0;
   for (int Iter = 0; Iter < 2200; ++Iter) {
     RandomCase Case = randomWellFormed(Gen, /*MaxExtent=*/5);
 
@@ -272,15 +293,26 @@ TEST(FuzzPipeline, ThousandsOfSeededIterationsNeverCrash) {
     // Numerics on a deterministic subset of small well-formed problems to
     // keep the whole harness inside a few seconds.
     bool CheckNumerics = (Iter % 5 == 0);
-    if (runPipeline(Case.Spec, Case.Extents, Gen, CheckNumerics))
+    switch (runPipeline(Case.Spec, Case.Extents, Gen, CheckNumerics)) {
+    case PipelineOutcome::Generated:
       ++WellFormed;
-    else
+      break;
+    case PipelineOutcome::InputRejected:
       ++Rejected;
+      break;
+    case PipelineOutcome::DeviceRejected:
+      ++DeviceRejected;
+      break;
+    }
   }
   // The split is seed-deterministic; pin rough shape so a regression that
-  // silently rejects everything (or accepts garbage) is caught.
-  EXPECT_GT(WellFormed, 700);
+  // silently rejects everything (or accepts garbage) is caught. The device
+  // draw is hostile by design (zero/starved shared memory, starved
+  // registers), so a healthy fraction of well-formed inputs must come back
+  // as *typed* device rejections rather than bogus kernels.
+  EXPECT_GT(WellFormed, 400);
   EXPECT_GT(Rejected, 300);
+  EXPECT_GT(DeviceRejected, 200);
 }
 
 TEST(FuzzPipeline, RandomGarbageStringsNeverCrash) {
@@ -298,30 +330,41 @@ TEST(FuzzPipeline, RandomGarbageStringsNeverCrash) {
 }
 
 TEST(FuzzPipeline, SuiteSurvivesHostileDevices) {
-  // Acceptance criterion: every TCCG entry generates a non-empty result
-  // even when the device cannot host any staged kernel, with the fallback
-  // level recorded.
+  // A device with no shared memory at all is a *nonsense spec*, not a
+  // hostile-but-real one: DeviceSpec::validate rejects it at the entry
+  // point with a typed error instead of the old silent TTGT absorption.
   gpu::DeviceSpec NoSmem = gpu::makeV100();
   NoSmem.SharedMemPerBlock = 0;
   NoSmem.SharedMemPerSM = 0;
-  gpu::DeviceSpec TinySmem = gpu::makeP100();
-  TinySmem.SharedMemPerBlock = 100;
-  TinySmem.SharedMemPerSM = 100;
-
-  for (const gpu::DeviceSpec &Device : {NoSmem, TinySmem}) {
-    core::Cogent Generator(Device);
+  EXPECT_EQ(NoSmem.validate().errorCode(), ErrorCode::InvalidDeviceSpec);
+  {
+    core::Cogent Generator(NoSmem);
     for (const suite::SuiteEntry &Entry : suite::tccgSuite()) {
       ErrorOr<Contraction> TC = Entry.tryContractionScaled(16);
       ASSERT_TRUE(TC.hasValue()) << Entry.Name;
       ErrorOr<core::GenerationResult> Result = Generator.generate(*TC);
-      ASSERT_TRUE(Result.hasValue()) << Entry.Name << " on " << Device.Name;
+      ASSERT_FALSE(Result.hasValue()) << Entry.Name;
+      EXPECT_EQ(Result.errorCode(), ErrorCode::InvalidDeviceSpec)
+          << Entry.Name;
+    }
+  }
+
+  // A valid but starved device (100 bytes of staging memory) engages the
+  // fallback chain; every TCCG entry still yields a verified kernel.
+  gpu::DeviceSpec TinySmem = gpu::makeP100();
+  TinySmem.SharedMemPerBlock = 100;
+  TinySmem.SharedMemPerSM = 100;
+  ASSERT_TRUE(TinySmem.validate().hasValue());
+  {
+    core::Cogent Generator(TinySmem);
+    for (const suite::SuiteEntry &Entry : suite::tccgSuite()) {
+      ErrorOr<Contraction> TC = Entry.tryContractionScaled(16);
+      ASSERT_TRUE(TC.hasValue()) << Entry.Name;
+      ErrorOr<core::GenerationResult> Result = Generator.generate(*TC);
+      ASSERT_TRUE(Result.hasValue()) << Entry.Name << " on " << TinySmem.Name;
       EXPECT_FALSE(Result->empty()) << Entry.Name;
       EXPECT_NE(Result->Fallback, FallbackLevel::None)
           << Entry.Name << ": hostile device must engage the fallback chain";
-      if (Device.SharedMemPerBlock == 0) {
-        EXPECT_EQ(Result->Fallback, FallbackLevel::TtgtBaseline)
-            << Entry.Name << ": no staging memory leaves only TTGT";
-      }
     }
   }
 }

@@ -77,6 +77,61 @@ TEST(Occupancy, UnfitBlock) {
   EXPECT_EQ(computeOccupancy(Device, ZeroThreads).BlocksPerSM, 0u);
 }
 
+TEST(Occupancy, ZeroRegisterKernelDoesNotDivideByZero) {
+  // A kernel whose register estimate rounds to zero must not trip a
+  // division; the register term simply stops limiting.
+  DeviceSpec Device = makeV100();
+  BlockResources Block{256, 0, 0};
+  OccupancyResult Result = computeOccupancy(Device, Block);
+  EXPECT_GT(Result.BlocksPerSM, 0u);
+  EXPECT_STRNE(Result.Limiter, "regs");
+  EXPECT_LE(Result.BlocksPerSM, Device.MaxBlocksPerSM);
+}
+
+TEST(Occupancy, SmemExactlyAtLimits) {
+  // Exactly at the per-block limit: fits, and the SM hosts
+  // SharedMemPerSM / SharedMemPerBlock co-resident blocks.
+  DeviceSpec Device = makeV100(); // 48 KiB/block, 96 KiB/SM
+  BlockResources AtBlockLimit{256, Device.SharedMemPerBlock, 32};
+  OccupancyResult Result = computeOccupancy(Device, AtBlockLimit);
+  EXPECT_EQ(Result.BlocksPerSM,
+            Device.SharedMemPerSM / Device.SharedMemPerBlock);
+  EXPECT_STREQ(Result.Limiter, "smem");
+
+  // One byte over the per-block limit: unfit, occupancy zero — clamped to
+  // the DeviceSpec, not UB.
+  BlockResources OverBlockLimit{256, Device.SharedMemPerBlock + 1, 32};
+  OccupancyResult Over = computeOccupancy(Device, OverBlockLimit);
+  EXPECT_EQ(Over.BlocksPerSM, 0u);
+  EXPECT_DOUBLE_EQ(Over.Occupancy, 0.0);
+  EXPECT_STREQ(Over.Limiter, "unfit");
+
+  // A device allowing one block to own the whole SM: exactly at the SM
+  // limit yields exactly one resident block.
+  DeviceSpec WholeSM = makeV100();
+  WholeSM.SharedMemPerBlock = WholeSM.SharedMemPerSM;
+  BlockResources AtSmLimit{256, WholeSM.SharedMemPerSM, 32};
+  OccupancyResult One = computeOccupancy(WholeSM, AtSmLimit);
+  EXPECT_EQ(One.BlocksPerSM, 1u);
+  EXPECT_STREQ(One.Limiter, "smem");
+}
+
+TEST(Occupancy, BlockSizesAboveHardwareMaximum) {
+  DeviceSpec Device = makeV100(); // MaxThreadsPerBlock = 1024
+  for (unsigned Threads :
+       {Device.MaxThreadsPerBlock + 1, Device.MaxThreadsPerBlock * 2,
+        4096u, ~0u}) {
+    BlockResources Block{Threads, 0, 32};
+    OccupancyResult Result = computeOccupancy(Device, Block);
+    EXPECT_EQ(Result.BlocksPerSM, 0u) << Threads;
+    EXPECT_DOUBLE_EQ(Result.Occupancy, 0.0) << Threads;
+    EXPECT_STREQ(Result.Limiter, "unfit") << Threads;
+  }
+  // Exactly at the maximum still fits.
+  BlockResources AtMax{Device.MaxThreadsPerBlock, 0, 32};
+  EXPECT_GT(computeOccupancy(Device, AtMax).BlocksPerSM, 0u);
+}
+
 TEST(Occupancy, WaveEfficiency) {
   DeviceSpec Device = makeV100(); // 80 SMs
   // Exactly one full wave.

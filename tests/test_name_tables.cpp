@@ -17,6 +17,7 @@
 #include "core/Cogent.h"
 #include "core/Enumerator.h"
 #include "gpu/PerfModel.h"
+#include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
@@ -69,6 +70,41 @@ TEST(NameTables, SearchStatusRejectsUnknownNames) {
   EXPECT_FALSE(core::searchStatusFromName("").has_value());
   EXPECT_FALSE(core::searchStatusFromName("?").has_value());
   EXPECT_FALSE(core::searchStatusFromName("Complete!").has_value());
+}
+
+TEST(NameTables, ChaosSiteRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < support::NumChaosSites; ++I) {
+    auto Site = static_cast<support::ChaosSite>(I);
+    const char *Name = support::chaosSiteName(Site);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "site " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate chaos site name '" << Name << "'";
+    auto Back = support::chaosSiteFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Site);
+    // Every site's bit is inside the all-sites mask, and distinct.
+    EXPECT_NE(support::AllChaosSites & support::chaosSiteBit(Site), 0u);
+  }
+  EXPECT_FALSE(support::chaosSiteFromName("").has_value());
+  EXPECT_FALSE(support::chaosSiteFromName("?").has_value());
+  EXPECT_FALSE(support::chaosSiteFromName("COST-PERTURB").has_value());
+}
+
+TEST(NameTables, ParseChaosSitesAcceptsListsRejectsUnknowns) {
+  EXPECT_EQ(support::parseChaosSites("all"),
+            std::optional<uint32_t>(support::AllChaosSites));
+  EXPECT_EQ(support::parseChaosSites("cost-perturb"),
+            std::optional<uint32_t>(
+                support::chaosSiteBit(support::ChaosSite::CostPerturb)));
+  EXPECT_EQ(support::parseChaosSites("cost-perturb,device-mutate"),
+            std::optional<uint32_t>(
+                support::chaosSiteBit(support::ChaosSite::CostPerturb) |
+                support::chaosSiteBit(support::ChaosSite::DeviceMutate)));
+  EXPECT_FALSE(support::parseChaosSites("no-such-site").has_value());
+  EXPECT_FALSE(support::parseChaosSites("cost-perturb,bogus").has_value());
+  EXPECT_FALSE(support::parseChaosSites("").has_value());
 }
 
 TEST(NameTables, PerfBoundTableIsClosedAndDistinct) {

@@ -16,12 +16,32 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 using namespace cogent;
 using core::Cogent;
 using core::CogentOptions;
 using core::KernelRepository;
 
 namespace {
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream File(Path);
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  return Buffer.str();
+}
+
+void spit(const std::string &Path, const std::string &Content) {
+  std::ofstream File(Path, std::ios::trunc);
+  File << Content;
+}
 
 TEST(KernelRepository, StoresOneVersionPerRepresentative) {
   Cogent Generator(gpu::makeV100());
@@ -77,6 +97,134 @@ TEST(KernelRepository, PerIndexExtentsSupported) {
       {'i', 4096}, {'j', 16}, {'k', 256}};
   ASSERT_TRUE(Repo.addRepresentative(Skewed).hasValue());
   EXPECT_EQ(Repo.selectFor(Skewed).RepresentativeExtents, Skewed);
+}
+
+TEST(RepositoryCache, SaveLoadRoundTrips) {
+  Cogent Generator(gpu::makeV100());
+  std::string Path = tempPath("cogent_repo_roundtrip.cache");
+  {
+    KernelRepository Repo(Generator, "ij-ik-kj");
+    ASSERT_TRUE(Repo.addRepresentativeUniform(64).hasValue());
+    ASSERT_TRUE(Repo.addRepresentativeUniform(2048).hasValue());
+    ASSERT_TRUE(Repo.saveToFile(Path).hasValue());
+  }
+  KernelRepository Loaded(Generator, "ij-ik-kj");
+  std::vector<Error> Warnings;
+  ErrorOr<size_t> Count = Loaded.loadFromFile(Path, &Warnings);
+  ASSERT_TRUE(Count.hasValue()) << Count.errorMessage();
+  EXPECT_EQ(*Count, 2u);
+  EXPECT_EQ(Loaded.numVersions(), 2u);
+  EXPECT_TRUE(Warnings.empty());
+  // Loaded versions are re-generated, so they match a fresh repository
+  // exactly (kernels are never deserialized from disk).
+  KernelRepository Fresh(Generator, "ij-ik-kj");
+  ASSERT_TRUE(Fresh.addRepresentativeUniform(64).hasValue());
+  EXPECT_EQ(Loaded.version(0).Kernel.Config.toString(),
+            Fresh.version(0).Kernel.Config.toString());
+}
+
+TEST(RepositoryCache, VersionMismatchIsTypedFullMiss) {
+  Cogent Generator(gpu::makeV100());
+  std::string Path = tempPath("cogent_repo_version.cache");
+  {
+    KernelRepository Repo(Generator, "ij-ik-kj");
+    ASSERT_TRUE(Repo.addRepresentativeUniform(64).hasValue());
+    ASSERT_TRUE(Repo.saveToFile(Path).hasValue());
+  }
+  // An older (or newer) format version must never be best-effort parsed.
+  std::string Content = slurp(Path);
+  ASSERT_NE(Content.find("COGENTREPO v2"), std::string::npos);
+  Content.replace(Content.find("v2"), 2, "v1");
+  spit(Path, Content);
+
+  KernelRepository Repo(Generator, "ij-ik-kj");
+  ErrorOr<size_t> Count = Repo.loadFromFile(Path);
+  ASSERT_FALSE(Count.hasValue());
+  EXPECT_EQ(Count.errorCode(), ErrorCode::CorruptCache);
+  EXPECT_EQ(Repo.numVersions(), 0u);
+}
+
+TEST(RepositoryCache, CorruptEntryWarnsAndSkips) {
+  Cogent Generator(gpu::makeV100());
+  std::string Path = tempPath("cogent_repo_corrupt.cache");
+  {
+    KernelRepository Repo(Generator, "ij-ik-kj");
+    ASSERT_TRUE(Repo.addRepresentativeUniform(64).hasValue());
+    ASSERT_TRUE(Repo.addRepresentativeUniform(512).hasValue());
+    ASSERT_TRUE(Repo.saveToFile(Path).hasValue());
+  }
+  // Flip one digit of the first entry's extents: its checksum no longer
+  // matches, so it must be warned about and skipped — never silently
+  // reused — while the intact entry still loads.
+  std::string Content = slurp(Path);
+  size_t At = Content.find("i=64");
+  ASSERT_NE(At, std::string::npos);
+  Content.replace(At, 4, "i=65");
+  spit(Path, Content);
+
+  KernelRepository Repo(Generator, "ij-ik-kj");
+  std::vector<Error> Warnings;
+  ErrorOr<size_t> Count = Repo.loadFromFile(Path, &Warnings);
+  ASSERT_TRUE(Count.hasValue());
+  EXPECT_EQ(*Count, 1u);
+  EXPECT_EQ(Repo.numVersions(), 1u);
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_EQ(Warnings[0].code(), ErrorCode::CorruptCache);
+  EXPECT_NE(Warnings[0].render().find("checksum"), std::string::npos)
+      << Warnings[0].render();
+}
+
+TEST(RepositoryCache, TruncatedEntriesWarnNeverCrash) {
+  Cogent Generator(gpu::makeV100());
+  std::string Path = tempPath("cogent_repo_truncated.cache");
+  {
+    KernelRepository Repo(Generator, "ij-ik-kj");
+    ASSERT_TRUE(Repo.addRepresentativeUniform(64).hasValue());
+    ASSERT_TRUE(Repo.saveToFile(Path).hasValue());
+  }
+  std::string Content = slurp(Path);
+
+  // Truncate at every prefix length: each must come back as a typed error
+  // (header gone) or a load with warnings — never a crash, never a bogus
+  // version.
+  for (size_t Keep = 0; Keep < Content.size(); Keep += 7) {
+    spit(Path, Content.substr(0, Keep));
+    KernelRepository Repo(Generator, "ij-ik-kj");
+    std::vector<Error> Warnings;
+    ErrorOr<size_t> Count = Repo.loadFromFile(Path, &Warnings);
+    if (!Count) {
+      EXPECT_EQ(Count.errorCode(), ErrorCode::CorruptCache);
+    } else {
+      EXPECT_EQ(Repo.numVersions(), *Count);
+      for (const Error &W : Warnings)
+        EXPECT_EQ(W.code(), ErrorCode::CorruptCache);
+    }
+  }
+}
+
+TEST(RepositoryCache, WrongSpecAndMissingFileRejected) {
+  Cogent Generator(gpu::makeV100());
+  std::string Path = tempPath("cogent_repo_spec.cache");
+  {
+    KernelRepository Repo(Generator, "ij-ik-kj");
+    ASSERT_TRUE(Repo.addRepresentativeUniform(64).hasValue());
+    ASSERT_TRUE(Repo.saveToFile(Path).hasValue());
+  }
+  // A cache written for a different contraction is a warned full miss.
+  KernelRepository Other(Generator, "ab-ac-cb");
+  std::vector<Error> Warnings;
+  ErrorOr<size_t> Count = Other.loadFromFile(Path, &Warnings);
+  ASSERT_TRUE(Count.hasValue());
+  EXPECT_EQ(*Count, 0u);
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_EQ(Warnings[0].code(), ErrorCode::CorruptCache);
+
+  // A missing file is a typed error, not a crash.
+  KernelRepository Fresh(Generator, "ij-ik-kj");
+  ErrorOr<size_t> Missing =
+      Fresh.loadFromFile(tempPath("no_such_cogent_cache.cache"));
+  ASSERT_FALSE(Missing.hasValue());
+  EXPECT_EQ(Missing.errorCode(), ErrorCode::CorruptCache);
 }
 
 TEST(RefineTopK, MeasuresEveryCandidate) {
