@@ -89,6 +89,8 @@ cogent::bench::runTccgComparison(const gpu::DeviceSpec &Device,
       Row.CogentElapsedMs = Result->ElapsedMs;
       Row.PredictedTransactions = Result->best().Cost.total();
       Row.VerifierRejections = Result->VerifierRejections;
+      Row.LintFindings = Result->LintFindings.size();
+      Row.LintRejections = Result->LintRejections;
       if (Options.SimTraffic)
         crossCheckTraffic(Row, TC, Result->best().Config, ElementSize,
                           Options);
@@ -190,6 +192,8 @@ cogent::bench::renderComparisonJson(const std::vector<ComparisonRow> &Rows,
     W.member("codegen_ms", Row.CogentElapsedMs);
     W.member("predicted_transactions", Row.PredictedTransactions);
     W.member("verifier_rejections", Row.VerifierRejections);
+    W.member("lint_findings", Row.LintFindings);
+    W.member("lint_rejections", Row.LintRejections);
     if (Row.SimExtent > 0) {
       W.key("traffic_cross_check");
       W.beginObject();
@@ -211,12 +215,18 @@ cogent::bench::renderComparisonJson(const std::vector<ComparisonRow> &Rows,
   W.member("geomean_speedup_vs_talsh", geomeanSpeedup(Rows, false));
   double TotalGenMs = 0.0;
   uint64_t TotalRejections = 0;
+  uint64_t TotalLintFindings = 0;
+  uint64_t TotalLintRejections = 0;
   for (const ComparisonRow &Row : Rows) {
     TotalGenMs += Row.CogentElapsedMs;
     TotalRejections += Row.VerifierRejections;
+    TotalLintFindings += Row.LintFindings;
+    TotalLintRejections += Row.LintRejections;
   }
   W.member("total_codegen_ms", TotalGenMs);
   W.member("total_verifier_rejections", TotalRejections);
+  W.member("total_lint_findings", TotalLintFindings);
+  W.member("total_lint_rejections", TotalLintRejections);
   W.endObject();
   W.endObject();
   return W.take();

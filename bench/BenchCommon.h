@@ -50,6 +50,11 @@ struct ComparisonRow {
   /// Candidates the PlanVerifier rejected while generating this row's
   /// kernel (docs/ARCHITECTURE.md §11); the winner itself always passed.
   uint64_t VerifierRejections = 0;
+  /// KernelLint findings attached to this row's accepted kernels and
+  /// emitted sources the strict lint gate rejected (docs/ARCHITECTURE.md
+  /// §12); both are zero for a healthy emitter.
+  uint64_t LintFindings = 0;
+  uint64_t LintRejections = 0;
 };
 
 /// Knobs for runTccgComparison beyond the element size.

@@ -15,6 +15,7 @@
 ///              [--max-configs N] [--deadline-ms X] [--max-source-bytes N]
 ///              [--smem-per-block N] [--transaction-bytes N]
 ///              [--chaos-seed N] [--chaos-sites LIST]
+///              [--lint=off|warn|strict] [--explain-lint]
 ///              [--trace=FILE] [--metrics=FILE] [--quiet]
 /// Examples:
 ///   cogent_cli abcd-aebf-dfce 72
@@ -29,6 +30,12 @@
 /// timings, enumeration stats, per-kernel model outputs, counter deltas);
 /// --quiet suppresses the stderr report and the stdout source dump so
 /// scripted runs produce only the requested files (errors still print).
+///
+/// --lint selects the post-emit KernelLint gate mode (strict by default:
+/// sources with error findings are rejected and re-emitted/demoted);
+/// --explain-lint dumps the analyzer's view of the winning kernel — the
+/// parsed resource table, staging strides, barrier structure and any
+/// findings — to stderr.
 ///
 /// --chaos-seed/--chaos-sites arm the deterministic fault-injection layer
 /// (builds configured with COGENT_CHAOS=ON, the default): --chaos-sites
@@ -48,6 +55,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelLint.h"
 #include "core/Cogent.h"
 #include "core/KernelPlan.h"
 #include "gpu/DeviceSpec.h"
@@ -68,7 +76,8 @@ static void printUsage(const char *Argv0) {
                "[--double-buffer] [--explain] [--max-configs N] "
                "[--deadline-ms X] [--max-source-bytes N] "
                "[--smem-per-block N] [--transaction-bytes N] "
-               "[--chaos-seed N] [--chaos-sites LIST] [--trace=FILE] "
+               "[--chaos-seed N] [--chaos-sites LIST] "
+               "[--lint=off|warn|strict] [--explain-lint] [--trace=FILE] "
                "[--metrics=FILE] [--quiet]\n",
                Argv0);
 }
@@ -102,6 +111,7 @@ int main(int Argc, char **Argv) {
   bool UseOpenCl = false;
   bool UseDoubleBuffer = false;
   bool Explain = false;
+  bool ExplainLint = false;
   bool Quiet = false;
   std::string TracePath;
   std::string MetricsPath;
@@ -123,6 +133,19 @@ int main(int Argc, char **Argv) {
       UseDoubleBuffer = true;
     } else if (Arg == "--explain") {
       Explain = true;
+    } else if (Arg == "--explain-lint") {
+      ExplainLint = true;
+    } else if (std::string LintArg;
+               fileArg("--lint", Argc, Argv, &I, &LintArg)) {
+      std::optional<analysis::LintMode> Mode =
+          analysis::lintModeFromName(LintArg);
+      if (!Mode) {
+        std::fprintf(stderr, "error: unknown lint mode '%s' (expected "
+                             "off, warn or strict)\n",
+                     LintArg.c_str());
+        return 2;
+      }
+      Options.Lint.Mode = *Mode;
     } else if (Arg == "--device" && I + 1 < Argc) {
       std::string Name = Argv[++I];
       if (Name == "p100")
@@ -238,6 +261,15 @@ int main(int Argc, char **Argv) {
                  "(fallback '%s')\n",
                  static_cast<unsigned long long>(Result->VerifierRejections),
                  core::fallbackLevelName(Result->Fallback));
+  if (!Quiet && Result->LintRejections > 0)
+    std::fprintf(stderr,
+                 "# notice: lint gate rejected %llu emitted source(s); "
+                 "rescued — emitted kernel lints clean (fallback '%s')\n",
+                 static_cast<unsigned long long>(Result->LintRejections),
+                 core::fallbackLevelName(Result->Fallback));
+  if (!Quiet)
+    for (const analysis::LintFinding &Finding : Result->LintFindings)
+      std::fprintf(stderr, "# lint: %s\n", Finding.render().c_str());
   if (!Quiet) {
     std::fprintf(stderr,
                  "# %s on %s: %llu candidates -> %llu survivors in %.1f ms\n",
@@ -278,6 +310,16 @@ int main(int Argc, char **Argv) {
                  core::explainKernel(PlanTC, Result->best(), Device,
                                      Options.ElementSize)
                      .c_str());
+  if (ExplainLint && !Quiet) {
+    core::KernelPlan Plan(PlanTC, Result->best().Config);
+    analysis::LintOptions LintOpts = Options.Lint;
+    LintOpts.ElementSize = Options.ElementSize;
+    LintOpts.TransactionBytes = Device.TransactionBytes;
+    std::fprintf(stderr, "%s\n",
+                 analysis::explainLint(
+                     Plan, Result->best().Source.KernelSource, LintOpts)
+                     .c_str());
+  }
   if (UseOpenCl || UseDoubleBuffer) {
     // Re-emit the winning plan in the requested dialect/pipeline.
     core::KernelPlan Plan(PlanTC, Result->best().Config);

@@ -27,6 +27,19 @@ configure() {
 configure build
 cmake --build build
 
+# Static-analysis lane: clang-tidy over the library sources against the
+# compile_commands.json the build exported (.clang-tidy pins the check
+# set). Skips gracefully when clang-tidy isn't installed — the tree must
+# stay buildable in minimal containers — but a finding fails the script
+# where the tool exists.
+if command -v clang-tidy >/dev/null 2>&1 && [ -f build/compile_commands.json ]; then
+  find src -name '*.cpp' -print0 \
+    | xargs -0 clang-tidy -p build --quiet 2>&1 | tee lint_output.txt
+  echo "clang-tidy lane: clean"
+else
+  echo "clang-tidy lane: skipped (clang-tidy or compile_commands.json missing)"
+fi
+
 # Fast lane first: the tier1 label excludes the long fuzz / full-scale
 # sweeps, so structural breakage surfaces in seconds...
 ctest --test-dir build -L tier1 --output-on-failure 2>&1 | tee test_output.txt

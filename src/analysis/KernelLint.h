@@ -1,0 +1,148 @@
+//===- analysis/KernelLint.h - Static analyzer for emitted kernels --------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KernelLint: independent static-analysis passes over the KernelModel of
+/// one emitted kernel, cross-checked against the KernelPlan that produced
+/// it. Where the PlanVerifier re-checks the *plan* against device budgets,
+/// KernelLint re-checks the *source* against the plan — the two views can
+/// only drift if codegen regresses, and that drift is exactly what each
+/// pass detects:
+///
+///   BarrierPlacement — flow-sensitive SMEM race detection: every staging
+///     write must be separated from cross-thread reads by a barrier, and
+///     no barrier may sit under thread-divergent control flow.
+///   BankConflict     — SMEM index expressions must use the plan's staging
+///     strides (mod-32 bank behavior is a function of those strides).
+///   Coalescing       — GMEM index expressions must use the plan's global
+///     strides and tile bases; predictTransactions() replays the access
+///     pattern so the analyzer can be diffed against KernelSimulator.
+///   BoundsCheck      — affine index ranges vs. declared SMEM/register
+///     array sizes, and guard completeness vs. tensor extents.
+///   ResourceDecl     — #define table, __shared__ bytes and register-tile
+///     declarations must match the verified plan.
+///
+/// Findings are typed (pass + severity + message + line) and deliberately
+/// fire only on plan-vs-source inconsistency, never on inherent layout
+/// quality: a clean emission lints clean by construction, which is what
+/// lets the fuzz harness use strict lint as an oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_ANALYSIS_KERNELLINT_H
+#define COGENT_ANALYSIS_KERNELLINT_H
+
+#include "analysis/KernelModel.h"
+#include "core/KernelPlan.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cogent {
+namespace analysis {
+
+/// The independent analysis passes, in run order.
+enum class LintPass {
+  Structure,        ///< The source failed to parse as the emitted schema.
+  BarrierPlacement,
+  BankConflict,
+  Coalescing,
+  BoundsCheck,
+  ResourceDecl,
+};
+
+/// Number of LintPass enumerators (name-table round-trip tests walk this).
+inline constexpr unsigned NumLintPasses = 6;
+
+/// Stable identifier, e.g. "barrier-placement".
+const char *lintPassName(LintPass Pass);
+
+/// Inverse of lintPassName; returns std::nullopt for unknown names.
+std::optional<LintPass> lintPassFromName(const std::string &Name);
+
+enum class LintSeverity { Warning, Error };
+
+const char *lintSeverityName(LintSeverity Severity);
+
+/// One typed finding.
+struct LintFinding {
+  LintPass Pass = LintPass::Structure;
+  LintSeverity Severity = LintSeverity::Error;
+  unsigned Line = 0;  ///< 1-based kernel-source line, 0 when unanchored.
+  std::string Message;
+
+  /// "error: [bank-conflict] line 12: ..." for logs and --explain-lint.
+  std::string render() const;
+};
+
+/// How the generation pipeline treats findings (CogentOptions::Lint,
+/// cogent_cli --lint=MODE).
+enum class LintMode {
+  Off,    ///< Analyzer not run.
+  Warn,   ///< Findings recorded in GenerationResult, candidates kept.
+  Strict, ///< Error findings reject the candidate (demoting the rung).
+};
+
+const char *lintModeName(LintMode Mode);
+std::optional<LintMode> lintModeFromName(const std::string &Name);
+
+struct LintOptions {
+  LintMode Mode = LintMode::Strict;
+  unsigned ElementSize = 8;
+  unsigned WarpSize = 32;
+  unsigned TransactionBytes = 128;
+};
+
+/// The result of one lintKernel run.
+struct LintReport {
+  std::vector<LintFinding> Findings;
+
+  unsigned errorCount() const {
+    unsigned N = 0;
+    for (const LintFinding &F : Findings)
+      N += F.Severity == LintSeverity::Error;
+    return N;
+  }
+  bool clean() const { return Findings.empty(); }
+};
+
+/// Runs every pass over \p KernelSource against \p Plan. With Mode == Off
+/// returns an empty report without parsing.
+LintReport lintKernel(const core::KernelPlan &Plan,
+                      const std::string &KernelSource,
+                      const LintOptions &Options = LintOptions());
+
+/// Per-operand GMEM transaction counts predicted by replaying the parsed
+/// source's access pattern warp by warp — the Coalescing pass's
+/// quantitative half, kept bit-identical to gpu::simulateKernel's counts
+/// (asserted by tests, not just documented). Double-buffered sources are
+/// a typed error: the pipeline only emits single-buffer kernels.
+struct TrafficPrediction {
+  uint64_t TransactionsA = 0;
+  uint64_t TransactionsB = 0;
+  uint64_t TransactionsC = 0;
+  uint64_t total() const {
+    return TransactionsA + TransactionsB + TransactionsC;
+  }
+};
+
+ErrorOr<TrafficPrediction>
+predictTransactions(const core::KernelPlan &Plan,
+                    const std::string &KernelSource,
+                    const LintOptions &Options = LintOptions());
+
+/// Human-oriented dump for cogent_cli --explain-lint: the parsed resource
+/// table, barrier/staging structure, per-access stride checks and any
+/// findings.
+std::string explainLint(const core::KernelPlan &Plan,
+                        const std::string &KernelSource,
+                        const LintOptions &Options = LintOptions());
+
+} // namespace analysis
+} // namespace cogent
+
+#endif // COGENT_ANALYSIS_KERNELLINT_H

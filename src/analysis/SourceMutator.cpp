@@ -1,0 +1,317 @@
+//===- analysis/SourceMutator.cpp -----------------------------------------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SourceMutator.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdint>
+
+using namespace cogent;
+using namespace cogent::analysis;
+
+const char *cogent::analysis::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::DropFirstBarrier:
+    return "drop-first-barrier";
+  case MutationKind::DropSecondBarrier:
+    return "drop-second-barrier";
+  case MutationKind::DivergentBarrier:
+    return "divergent-barrier";
+  case MutationKind::DivergentBarrierThread:
+    return "divergent-barrier-thread";
+  case MutationKind::SkewSmemReadStride:
+    return "skew-smem-read-stride";
+  case MutationKind::SkewSmemWriteStride:
+    return "skew-smem-write-stride";
+  case MutationKind::DropSmemTerm:
+    return "drop-smem-term";
+  case MutationKind::SkewGmemStride:
+    return "skew-gmem-stride";
+  case MutationKind::SwapGmemStrideVar:
+    return "swap-gmem-stride-var";
+  case MutationKind::WrongBaseVar:
+    return "wrong-base-var";
+  case MutationKind::SkewStoreStride:
+    return "skew-store-stride";
+  case MutationKind::DropLoadGuard:
+    return "drop-load-guard";
+  case MutationKind::WidenDecodeModulus:
+    return "widen-decode-modulus";
+  case MutationKind::DropStoreGuard:
+    return "drop-store-guard";
+  case MutationKind::ShrinkSmemDecl:
+    return "shrink-smem-decl";
+  case MutationKind::SkewDefineRegX:
+    return "skew-define-regx";
+  case MutationKind::SkewDefineNthreads:
+    return "skew-define-nthreads";
+  case MutationKind::ShrinkRegTile:
+    return "shrink-reg-tile";
+  }
+  assert(false && "unknown mutation kind");
+  return "?";
+}
+
+namespace {
+
+constexpr const char *CudaBarrier = "__syncthreads();";
+constexpr const char *ClBarrier = "barrier(CLK_LOCAL_MEM_FENCE);";
+
+/// The barrier spelling this source uses, or nullptr when it has none.
+const char *barrierToken(const std::string &S) {
+  if (S.find(CudaBarrier) != std::string::npos)
+    return CudaBarrier;
+  if (S.find(ClBarrier) != std::string::npos)
+    return ClBarrier;
+  return nullptr;
+}
+
+size_t lineStartAt(const std::string &S, size_t Pos) {
+  size_t NL = S.rfind('\n', Pos);
+  return NL == std::string::npos ? 0 : NL + 1;
+}
+
+/// One past the line's text, i.e. the index of its '\n' (or S.size()).
+size_t lineEndAt(const std::string &S, size_t Pos) {
+  size_t NL = S.find('\n', Pos);
+  return NL == std::string::npos ? S.size() : NL;
+}
+
+/// Erases the whole line containing \p Pos, including its newline.
+std::string eraseLineAt(const std::string &S, size_t Pos) {
+  size_t Start = lineStartAt(S, Pos);
+  size_t End = lineEndAt(S, Pos);
+  if (End < S.size())
+    ++End; // take the newline too
+  return S.substr(0, Start) + S.substr(End);
+}
+
+/// Replaces the line containing \p Pos (indent preserved) with \p Text.
+std::string replaceLineAt(const std::string &S, size_t Pos,
+                          const std::string &Text) {
+  size_t Start = lineStartAt(S, Pos);
+  size_t End = lineEndAt(S, Pos);
+  size_t Indent = Start;
+  while (Indent < End && S[Indent] == ' ')
+    ++Indent;
+  return S.substr(0, Start) + S.substr(Start, Indent - Start) + Text +
+         S.substr(End);
+}
+
+/// Parses the decimal literal at \p Pos; returns one past it in \p End.
+int64_t readNumber(const std::string &S, size_t Pos, size_t &End) {
+  int64_t Value = 0;
+  End = Pos;
+  while (End < S.size() && std::isdigit(static_cast<unsigned char>(S[End]))) {
+    Value = Value * 10 + (S[End] - '0');
+    ++End;
+  }
+  return Value;
+}
+
+/// Finds the first "<Lead><digits>" at or after \p From (not past \p Limit)
+/// and replaces the digits with Adjust(digits). Returns true on a change.
+bool adjustNumberAfter(std::string &S, size_t From, size_t Limit,
+                       const std::string &Lead, int64_t (*Adjust)(int64_t)) {
+  size_t Pos = From;
+  while ((Pos = S.find(Lead, Pos)) != std::string::npos && Pos < Limit) {
+    size_t NumPos = Pos + Lead.size();
+    size_t End;
+    int64_t Value = readNumber(S, NumPos, End);
+    if (End > NumPos) {
+      int64_t Mutated = Adjust(Value);
+      if (Mutated == Value)
+        return false; // adjustment is a semantic no-op here
+      S.replace(NumPos, End - NumPos, std::to_string(Mutated));
+      return true;
+    }
+    Pos = NumPos;
+  }
+  return false;
+}
+
+/// First line whose text contains \p Token; npos when absent.
+size_t findFirst(const std::string &S, const std::string &Token) {
+  return S.find(Token);
+}
+
+/// The first SMEM staging store: a line assigning into s_A with the
+/// `= inb ?` guard. Returns npos when absent (e.g. truncated source).
+size_t findStagingStore(const std::string &S) {
+  size_t Pos = 0;
+  while ((Pos = S.find("s_A[", Pos)) != std::string::npos) {
+    size_t End = lineEndAt(S, Pos);
+    size_t Guard = S.find("= inb ?", Pos);
+    if (Guard != std::string::npos && Guard < End)
+      return Pos;
+    Pos = End;
+  }
+  return std::string::npos;
+}
+
+} // namespace
+
+std::string cogent::analysis::applyMutation(const std::string &KernelSource,
+                                            MutationKind Kind) {
+  std::string S = KernelSource;
+  const char *Bar = barrierToken(S);
+
+  switch (Kind) {
+  case MutationKind::DropFirstBarrier: {
+    if (!Bar)
+      return S;
+    return eraseLineAt(S, S.find(Bar));
+  }
+  case MutationKind::DropSecondBarrier: {
+    if (!Bar)
+      return S;
+    return eraseLineAt(S, S.rfind(Bar));
+  }
+  case MutationKind::DivergentBarrier: {
+    if (!Bar)
+      return S;
+    return replaceLineAt(S, S.find(Bar),
+                         std::string("if (tid == 0) { ") + Bar + " }");
+  }
+  case MutationKind::DivergentBarrierThread: {
+    if (!Bar)
+      return S;
+    return replaceLineAt(S, S.rfind(Bar),
+                         std::string("if (threadIdx.x == 0) { ") + Bar +
+                             " }");
+  }
+  case MutationKind::SkewSmemReadStride: {
+    size_t Pos = findFirst(S, "r_A[rx] = ");
+    if (Pos == std::string::npos)
+      return S;
+    adjustNumberAfter(S, Pos, lineEndAt(S, Pos), " * ",
+                      [](int64_t V) { return V + 1; });
+    return S;
+  }
+  case MutationKind::SkewSmemWriteStride: {
+    size_t Pos = findStagingStore(S);
+    if (Pos == std::string::npos)
+      return S;
+    // Only touch the index portion, not the `inb ? g_A[...]` value side.
+    size_t Close = S.find("] = ", Pos);
+    if (Close == std::string::npos)
+      return S;
+    adjustNumberAfter(S, Pos, Close, " * ",
+                      [](int64_t V) { return V + 1; });
+    return S;
+  }
+  case MutationKind::DropSmemTerm: {
+    size_t Pos = findStagingStore(S);
+    if (Pos == std::string::npos)
+      return S;
+    size_t Close = S.find("] = ", Pos);
+    if (Close == std::string::npos)
+      return S;
+    // Drop the last `+ i_<x> * <stride>` term of the staging index.
+    size_t Term = S.rfind(" + i_", Close);
+    if (Term == std::string::npos || Term < Pos)
+      return S; // rank-1 slice: single term, nothing to drop
+    S.erase(Term, Close - Term);
+    return S;
+  }
+  case MutationKind::SkewGmemStride: {
+    size_t Pos = findFirst(S, "? g_A[");
+    if (Pos == std::string::npos)
+      return S;
+    size_t Var = S.find("strA_", Pos);
+    if (Var == std::string::npos || Var + 5 >= S.size())
+      return S;
+    std::string Name = S.substr(Var, 6); // "strA_" + index letter
+    S.replace(Var, 6, "(2 * " + Name + ")");
+    return S;
+  }
+  case MutationKind::SwapGmemStrideVar: {
+    size_t Pos = findFirst(S, "? g_A[");
+    if (Pos == std::string::npos)
+      return S;
+    size_t End = lineEndAt(S, Pos);
+    size_t First = S.find("strA_", Pos);
+    if (First == std::string::npos || First >= End)
+      return S;
+    size_t Second = S.find("strA_", First + 6);
+    if (Second == std::string::npos || Second >= End)
+      return S; // rank-1 operand: nothing to swap
+    std::swap(S[First + 5], S[Second + 5]);
+    return S;
+  }
+  case MutationKind::WrongBaseVar: {
+    size_t Pos = findFirst(S, "= kbase_");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos + 2, 6, "base_"); // kbase_x -> base_x
+    return S;
+  }
+  case MutationKind::SkewStoreStride: {
+    size_t Pos = findFirst(S, "g_C[gc_");
+    if (Pos == std::string::npos)
+      return S;
+    size_t Var = S.find("strC_", Pos);
+    if (Var == std::string::npos || Var + 5 >= S.size())
+      return S;
+    std::string Name = S.substr(Var, 6);
+    S.replace(Var, 6, "(2 * " + Name + ")");
+    return S;
+  }
+  case MutationKind::DropLoadGuard: {
+    size_t Pos = findFirst(S, "const bool inb =");
+    if (Pos == std::string::npos)
+      return S;
+    size_t ValueStart = Pos + 16; // after "const bool inb ="
+    size_t End = lineEndAt(S, Pos);
+    size_t Conj = S.find(" &&", ValueStart);
+    if (Conj != std::string::npos && Conj < End) {
+      S.erase(ValueStart, Conj + 3 - ValueStart); // drop first conjunct
+      return S;
+    }
+    S.replace(ValueStart, End - ValueStart, " true;"); // single conjunct
+    return S;
+  }
+  case MutationKind::WidenDecodeModulus: {
+    adjustNumberAfter(S, 0, S.size(), "lr % ",
+                      [](int64_t V) { return V + 1; });
+    return S;
+  }
+  case MutationKind::DropStoreGuard: {
+    size_t Pos = findFirst(S, "if (gc_");
+    if (Pos == std::string::npos)
+      return S;
+    return replaceLineAt(S, Pos, "if (true)");
+  }
+  case MutationKind::ShrinkSmemDecl: {
+    size_t Pos = findFirst(S, " s_A[");
+    if (Pos == std::string::npos)
+      return S;
+    adjustNumberAfter(S, Pos, lineEndAt(S, Pos), "s_A[",
+                      [](int64_t V) { return V > 1 ? V - 1 : V; });
+    return S;
+  }
+  case MutationKind::SkewDefineRegX: {
+    adjustNumberAfter(S, 0, S.size(), "#define REGX ",
+                      [](int64_t V) { return V + 1; });
+    return S;
+  }
+  case MutationKind::SkewDefineNthreads: {
+    adjustNumberAfter(S, 0, S.size(), "#define NTHREADS ",
+                      [](int64_t V) { return V * 2; });
+    return S;
+  }
+  case MutationKind::ShrinkRegTile: {
+    size_t Pos = findFirst(S, "r_C[REGX * REGY];");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos, 17, "r_C[REGX];");
+    return S;
+  }
+  }
+  assert(false && "unknown mutation kind");
+  return S;
+}

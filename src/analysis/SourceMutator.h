@@ -1,0 +1,69 @@
+//===- analysis/SourceMutator.h - Targeted kernel-source corruptions ------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Targeted, semantics-breaking corruptions of emitted kernel source — the
+/// mutation corpus that proves each KernelLint pass actually fires. Every
+/// MutationKind models one realistic codegen regression (a dropped
+/// barrier, a skewed staging stride, a widened decode modulus, ...), is a
+/// pure text transform, and leaves the source unchanged when its pattern
+/// is absent so it can be applied blindly (the codegen-mutate chaos site
+/// draws kinds at random).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COGENT_ANALYSIS_SOURCEMUTATOR_H
+#define COGENT_ANALYSIS_SOURCEMUTATOR_H
+
+#include <string>
+
+namespace cogent {
+namespace analysis {
+
+/// The targeted corruptions. Grouped by the lint pass expected to catch
+/// each (see tests/test_kernel_lint.cpp for the kill matrix).
+enum class MutationKind : unsigned {
+  // BarrierPlacement kills.
+  DropFirstBarrier,       ///< Delete the first barrier statement.
+  DropSecondBarrier,      ///< Delete the last barrier statement.
+  DivergentBarrier,       ///< Wrap the first barrier in `if (tid == 0)`.
+  DivergentBarrierThread, ///< Wrap the last barrier in
+                          ///< `if (threadIdx.x == 0)`.
+  // BankConflict kills.
+  SkewSmemReadStride,  ///< +1 the first SMEM compute-read stride literal.
+  SkewSmemWriteStride, ///< +1 the first SMEM staging-write stride literal.
+  DropSmemTerm,        ///< Delete the last staging-index term.
+  // Coalescing kills.
+  SkewGmemStride,    ///< Double the first global-load stride variable.
+  SwapGmemStrideVar, ///< Swap the first two global-load stride variables.
+  WrongBaseVar,      ///< Use the block base where the step base belongs.
+  SkewStoreStride,   ///< Double the first global-store stride variable.
+  // BoundsCheck kills.
+  DropLoadGuard,      ///< Remove one conjunct from (or blank) `inb`.
+  WidenDecodeModulus, ///< +1 the first slice decode modulus.
+  DropStoreGuard,     ///< Replace the store guard with `if (true)`.
+  // ResourceDecl kills.
+  ShrinkSmemDecl,     ///< Declare one fewer element in s_A.
+  SkewDefineRegX,     ///< +1 the REGX define.
+  SkewDefineNthreads, ///< Double the NTHREADS define.
+  ShrinkRegTile,      ///< Declare r_C[REGX] instead of r_C[REGX * REGY].
+};
+
+/// Number of MutationKind enumerators.
+inline constexpr unsigned NumMutationKinds = 18;
+
+/// Stable identifier, e.g. "drop-first-barrier".
+const char *mutationKindName(MutationKind Kind);
+
+/// Applies \p Kind to \p KernelSource. Returns the mutated text, or the
+/// input unchanged when the kind's pattern does not occur (never throws,
+/// never unbalances braces).
+std::string applyMutation(const std::string &KernelSource, MutationKind Kind);
+
+} // namespace analysis
+} // namespace cogent
+
+#endif // COGENT_ANALYSIS_SOURCEMUTATOR_H

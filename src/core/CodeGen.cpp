@@ -13,6 +13,7 @@
 
 #include "core/CodeGen.h"
 
+#include "analysis/SourceMutator.h"
 #include "support/Counters.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
@@ -82,6 +83,23 @@ const Dialect OpenClDialect = {
     "barrier(CLK_LOCAL_MEM_FENCE);",
     "", // set per element type below
 };
+
+/// Chaos site: a targeted codegen regression (dropped barrier, skewed
+/// stride, ...). The SourceMutator kind is drawn from the same per-site
+/// deterministic sequence as the fire decision, so a seed reproduces both
+/// whether and how the source was corrupted. KernelLint's post-emit gate
+/// in Cogent::generate is what absorbs these.
+void maybeMutateSource(std::string &KernelSource) {
+  if (!support::chaosShouldFire(support::ChaosSite::CodegenMutate))
+    return;
+  support::FaultInjector *Injector = support::activeFaultInjector();
+  if (!Injector)
+    return;
+  auto Kind = static_cast<analysis::MutationKind>(
+      Injector->sample(support::ChaosSite::CodegenMutate) %
+      analysis::NumMutationKinds);
+  KernelSource = analysis::applyMutation(KernelSource, Kind);
+}
 
 std::string withType(const char *Pattern, const std::string &ElemT) {
   std::string Out = Pattern;
@@ -463,6 +481,7 @@ GeneratedSource cogent::core::emitCuda(const KernelPlan &Plan,
   // Cogent::generate re-emits or demotes on that verdict.
   if (support::chaosShouldFire(support::ChaosSite::CodegenTruncate))
     Out.KernelSource.resize(Out.KernelSource.size() / 2);
+  maybeMutateSource(Out.KernelSource);
   ++NumKernelsEmitted;
   NumBytesEmitted += Out.KernelSource.size() + Out.DriverSource.size();
   return Out;
@@ -504,6 +523,7 @@ GeneratedSource cogent::core::emitOpenCl(const KernelPlan &Plan,
         "Local, 0, nullptr, nullptr);\n";
   DS << "}\n";
   Out.DriverSource = DS.str();
+  maybeMutateSource(Out.KernelSource);
   ++NumKernelsEmitted;
   NumBytesEmitted += Out.KernelSource.size() + Out.DriverSource.size();
   return Out;

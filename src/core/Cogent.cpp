@@ -6,6 +6,7 @@
 
 #include "core/Cogent.h"
 
+#include "analysis/KernelLint.h"
 #include "core/KernelPlan.h"
 #include "support/JsonWriter.h"
 #include "verify/PlanVerifier.h"
@@ -34,6 +35,8 @@ COGENT_COUNTER(NumEnumerationsAborted, "cogent.enumerations-aborted",
                "restarted on the fallback chain");
 COGENT_COUNTER(NumVerifierDemotions, "cogent.verifier-demotions",
                "fallback-rung demotions caused by verification failures");
+COGENT_COUNTER(NumLintRejections, "lint.rejections",
+               "emitted sources rejected by the strict KernelLint gate");
 
 const char *cogent::core::fallbackLevelName(FallbackLevel Level) {
   switch (Level) {
@@ -127,7 +130,10 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
   if (ErrorOr<void> DeviceCheck = Device.validate(); !DeviceCheck)
     return DeviceCheck.takeError().withContext("generating " + TC.toString());
 
-  support::CounterSnapshot CountersBefore = support::snapshotCounters();
+  // Per-run counter attribution: the scope only sees this thread's
+  // increments, so concurrent generate() calls never bleed into each
+  // other's GenerationResult::Counters.
+  support::CounterScope RunCounters;
   ++NumGenerateRuns;
   support::TraceSpan GenerateSpan("cogent.generate");
   GenerateSpan.arg("contraction", TC.toStringWithExtents());
@@ -247,6 +253,21 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
   CodeGenOptions CGOptions;
   CGOptions.ElementType = Options.ElementSize == 8 ? "double" : "float";
 
+  // Post-emit lint gate, symmetric with the verifier: sync the run's
+  // element and transaction sizes into the analysis.
+  analysis::LintOptions LintOpts = Options.Lint;
+  LintOpts.ElementSize = Options.ElementSize;
+  LintOpts.TransactionBytes = Run.TransactionBytes;
+  auto NoteLintRejection = [&](const analysis::LintReport &Report) {
+    ++Result.LintRejections;
+    ++NumLintRejections;
+    if (Result.LintNotes.size() < 8 && !Report.Findings.empty())
+      Result.LintNotes.push_back(Report.Findings.front().render());
+    support::traceInstant(
+        "cogent.lint-reject",
+        {{"findings", std::to_string(Report.Findings.size())}});
+  };
+
   // Emit the top-K verified plans. Every emission is source-verified; a
   // failed emission (e.g. injected truncation) is retried before the
   // candidate is given up on. Returns true when at least one kernel was
@@ -277,16 +298,34 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
       Kernel.Occupancy = Ranking[I].Occ;
       KernelPlan Plan(EmitTC, Kernel.Config);
       bool SourceOk = false;
+      std::vector<analysis::LintFinding> Accepted;
       for (unsigned Attempt = 0; Attempt < EmitRetries && !SourceOk;
            ++Attempt) {
         Kernel.Source = emitCuda(Plan, CGOptions);
         ErrorOr<void> SourceCheck = Verifier.verifySource(Kernel.Source);
         SourceOk = SourceCheck.hasValue();
-        if (!SourceOk)
+        if (!SourceOk) {
           NoteRejection(SourceCheck.error());
+          continue;
+        }
+        if (LintOpts.Mode == analysis::LintMode::Off)
+          continue;
+        analysis::LintReport Report =
+            analysis::lintKernel(Plan, Kernel.Source.KernelSource, LintOpts);
+        if (LintOpts.Mode == analysis::LintMode::Strict &&
+            Report.errorCount() > 0) {
+          // A lint rejection re-emits like a verifier rejection; when the
+          // retries run out the rung demotes down the fallback chain.
+          SourceOk = false;
+          NoteLintRejection(Report);
+          continue;
+        }
+        Accepted = std::move(Report.Findings);
       }
       if (!SourceOk)
         continue;
+      Result.LintFindings.insert(Result.LintFindings.end(),
+                                 Accepted.begin(), Accepted.end());
       Kernel.Predicted = gpu::estimateKernelTime(
           Run, Calib, makeKernelProfile(Plan, Run, Options.ElementSize));
       SourceBytes += Kernel.Source.KernelSource.size() +
@@ -367,8 +406,7 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
   auto End = std::chrono::steady_clock::now();
   Result.ElapsedMs =
       std::chrono::duration<double, std::milli>(End - Start).count();
-  Result.Counters =
-      support::counterDelta(CountersBefore, support::snapshotCounters());
+  Result.Counters = RunCounters.take();
   return Result;
 }
 
@@ -491,6 +529,19 @@ std::string cogent::core::renderMetricsJson(const Contraction &TC,
   W.member("verifier_rejections", Result.VerifierRejections);
   W.member("enumeration_aborted", Result.EnumerationAborted);
   W.member("device_mutated", Result.DeviceMutated);
+  W.member("lint_rejections", Result.LintRejections);
+
+  W.key("lint_findings");
+  W.beginArray();
+  for (const analysis::LintFinding &Finding : Result.LintFindings) {
+    W.beginObject();
+    W.member("pass", analysis::lintPassName(Finding.Pass));
+    W.member("severity", analysis::lintSeverityName(Finding.Severity));
+    W.member("line", static_cast<uint64_t>(Finding.Line));
+    W.member("message", Finding.Message);
+    W.endObject();
+  }
+  W.endArray();
 
   W.key("kernels");
   W.beginArray();

@@ -15,6 +15,7 @@
 #ifndef COGENT_CORE_COGENT_H
 #define COGENT_CORE_COGENT_H
 
+#include "analysis/KernelLint.h"
 #include "core/CodeGen.h"
 #include "core/CostModel.h"
 #include "core/Enumerator.h"
@@ -71,6 +72,15 @@ struct CogentOptions {
   /// FaultInjector for the run's duration when a site mask is set. Only
   /// effective in builds configured with COGENT_CHAOS=ON.
   support::ChaosOptions Chaos;
+  /// Post-emit static-analysis gate (analysis/KernelLint.h), symmetric
+  /// with the PlanVerifier: every source that survives verifySource is
+  /// linted against its plan. Strict (the default) rejects sources with
+  /// error findings — the emission is retried and, when retries run out,
+  /// the rung demotes down the fallback chain exactly like a verifier
+  /// rejection. Warn records findings in GenerationResult::LintFindings
+  /// without rejecting; Off skips the analysis. ElementSize and the
+  /// device's transaction size are synced by generate().
+  analysis::LintOptions Lint;
 };
 
 /// Which rung of the guaranteed-fallback chain produced the result.
@@ -141,11 +151,11 @@ struct GenerationResult {
   double ElapsedMs = 0.0;
   /// Per-phase breakdown of ElapsedMs.
   PhaseTimings Phases;
-  /// What this run contributed to every registered pipeline counter
-  /// (support::Counters snapshot delta across the run). Attribution is
-  /// exact for single-generator processes; concurrent generate() calls
-  /// bleed into each other's deltas. Chaos firings appear here as the
-  /// "chaos.fired.*" entries.
+  /// What this run contributed to every registered pipeline counter,
+  /// recorded through a per-run support::CounterScope. Attribution is
+  /// exact even when multiple threads generate concurrently: a scope only
+  /// observes increments made on its own thread. Chaos firings appear
+  /// here as the "chaos.fired.*" entries, lint activity as "lint.*".
   support::CounterSnapshot Counters;
   /// Candidate plans/costs/sources the PlanVerifier rejected during this
   /// run (each rejection either retried or demoted toward the next
@@ -153,6 +163,15 @@ struct GenerationResult {
   uint64_t VerifierRejections = 0;
   /// Rendered messages of the first few verifier rejections, for reports.
   std::vector<std::string> VerifierNotes;
+  /// Lint findings attached to the *accepted* kernels: everything
+  /// KernelLint reported in Warn mode, or warning-severity leftovers in
+  /// Strict mode (Strict never accepts a source with error findings).
+  std::vector<analysis::LintFinding> LintFindings;
+  /// Emitted sources the strict lint gate rejected during this run (each
+  /// rejection either retried or demoted, never returned to the caller).
+  uint64_t LintRejections = 0;
+  /// Rendered first findings of the first few lint rejections.
+  std::vector<std::string> LintNotes;
   /// True when enumeration died mid-search (allocation failure — real or
   /// chaos-injected) and the run restarted on the fallback chain.
   bool EnumerationAborted = false;

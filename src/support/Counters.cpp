@@ -68,6 +68,36 @@ CounterSnapshot cogent::support::counterDelta(const CounterSnapshot &Before,
   return Delta;
 }
 
+thread_local CounterScope *cogent::support::counters_detail::ActiveScope =
+    nullptr;
+
+void cogent::support::counters_detail::recordScoped(const Counter *C,
+                                                    uint64_t N) {
+  for (CounterScope *Scope = ActiveScope; Scope; Scope = Scope->Parent)
+    Scope->Deltas[C] += N;
+}
+
+CounterScope::CounterScope() : Parent(counters_detail::ActiveScope) {
+  counters_detail::ActiveScope = this;
+}
+
+CounterScope::~CounterScope() { counters_detail::ActiveScope = Parent; }
+
+CounterSnapshot CounterScope::take() const {
+  CounterSnapshot Snapshot;
+  for (Counter *C = registryHead().load(std::memory_order_acquire); C;
+       C = C->Next) {
+    auto It = Deltas.find(C);
+    Snapshot.push_back(
+        {C->name(), C->description(), It == Deltas.end() ? 0 : It->second});
+  }
+  std::sort(Snapshot.begin(), Snapshot.end(),
+            [](const CounterValue &X, const CounterValue &Y) {
+              return std::strcmp(X.Name, Y.Name) < 0;
+            });
+  return Snapshot;
+}
+
 void cogent::support::writeCountersJson(JsonWriter &W,
                                         const CounterSnapshot &Snapshot) {
   W.beginObject();

@@ -11,12 +11,13 @@
 /// thread-safe (relaxed atomics) and always on — incrementing one is a
 /// single relaxed fetch_add, cheap enough to leave in hot paths.
 ///
-/// Per-run attribution works by snapshotting: Cogent::generate snapshots
-/// the registry before and after a run and stores the delta in
-/// GenerationResult::Counters, so CLI metrics files and tests can report
-/// exactly what one generation did even though the registry is process-wide
-/// (concurrent generate() calls will see each other's increments in their
-/// deltas; attribute per-run numbers only in single-generator processes).
+/// Per-run attribution: Cogent::generate opens a CounterScope for the
+/// duration of a run and stores its per-thread delta in
+/// GenerationResult::Counters. A scope only observes increments made on
+/// its own thread, so concurrent generate() calls each get exact
+/// attribution even though the registry itself is process-wide.
+/// (snapshotCounters/counterDelta remain for whole-process views, where
+/// cross-thread bleed is the desired semantics.)
 ///
 /// Naming convention: "<component>.<noun>" in kebab-case, e.g.
 /// "enumerator.hardware-pruned" — see docs/ARCHITECTURE.md §10.
@@ -28,12 +29,25 @@
 
 #include <atomic>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace cogent {
 namespace support {
 
 class JsonWriter;
+class Counter;
+class CounterScope;
+
+namespace counters_detail {
+/// Innermost CounterScope active on this thread (nullptr almost always);
+/// checked inline so the unscoped hot path stays one relaxed fetch_add
+/// plus one thread-local load.
+extern thread_local CounterScope *ActiveScope;
+/// Out-of-line slow path: credits \p N to every scope on this thread's
+/// active chain.
+void recordScoped(const Counter *C, uint64_t N);
+} // namespace counters_detail
 
 /// One named monotonic counter. Construct with static storage duration only
 /// (the registry keeps a pointer and never unregisters).
@@ -41,7 +55,11 @@ class Counter {
 public:
   Counter(const char *Name, const char *Description);
 
-  void add(uint64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  void add(uint64_t N) {
+    Value.fetch_add(N, std::memory_order_relaxed);
+    if (counters_detail::ActiveScope)
+      counters_detail::recordScoped(this, N);
+  }
   Counter &operator+=(uint64_t N) {
     add(N);
     return *this;
@@ -57,6 +75,7 @@ public:
 
 private:
   friend std::vector<struct CounterValue> snapshotCounters();
+  friend class CounterScope;
 
   const char *Name;
   const char *Description;
@@ -86,6 +105,30 @@ CounterSnapshot counterDelta(const CounterSnapshot &Before,
 /// Writes \p Snapshot as one JSON object {"name": value, ...} into \p W
 /// (the writer must be positioned where a value is expected).
 void writeCountersJson(JsonWriter &W, const CounterSnapshot &Snapshot);
+
+/// RAII per-run counter attribution. While alive, every Counter increment
+/// made *on the constructing thread* is also credited to this scope;
+/// take() renders the credits as a full name-sorted table (zero entries
+/// retained, same shape as counterDelta's output). Scopes nest — an inner
+/// scope's increments credit every enclosing scope on the same thread —
+/// and increments from other threads are never visible, which is what
+/// gives concurrent Cogent::generate calls exact per-run attribution.
+class CounterScope {
+public:
+  CounterScope();
+  ~CounterScope();
+  CounterScope(const CounterScope &) = delete;
+  CounterScope &operator=(const CounterScope &) = delete;
+
+  /// The full counter table with this scope's per-thread deltas.
+  CounterSnapshot take() const;
+
+private:
+  friend void counters_detail::recordScoped(const Counter *C, uint64_t N);
+
+  std::unordered_map<const Counter *, uint64_t> Deltas;
+  CounterScope *Parent = nullptr; ///< Enclosing scope on this thread.
+};
 
 } // namespace support
 } // namespace cogent

@@ -31,6 +31,8 @@ COGENT_COUNTER(NumChaosRepositoryCorrupt, "chaos.fired.repository-corrupt",
                "Injected repository cache-entry corruptions");
 COGENT_COUNTER(NumChaosDeviceMutate, "chaos.fired.device-mutate",
                "Injected mid-search DeviceSpec mutations");
+COGENT_COUNTER(NumChaosCodegenMutate, "chaos.fired.codegen-mutate",
+               "Injected targeted kernel-source mutations");
 
 static Counter *siteCounter(ChaosSite Site) {
   switch (Site) {
@@ -48,6 +50,8 @@ static Counter *siteCounter(ChaosSite Site) {
     return &NumChaosRepositoryCorrupt;
   case ChaosSite::DeviceMutate:
     return &NumChaosDeviceMutate;
+  case ChaosSite::CodegenMutate:
+    return &NumChaosCodegenMutate;
   }
   assert(false && "unknown chaos site");
   return &NumChaosFired;
@@ -69,6 +73,8 @@ const char *support::chaosSiteName(ChaosSite Site) {
     return "repository-corrupt";
   case ChaosSite::DeviceMutate:
     return "device-mutate";
+  case ChaosSite::CodegenMutate:
+    return "codegen-mutate";
   }
   assert(false && "unknown chaos site");
   return "?";

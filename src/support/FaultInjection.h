@@ -61,14 +61,19 @@ enum class ChaosSite : unsigned {
   /// Cogent::generate's working DeviceSpec shrinks mid-search (hostile
   /// driver reporting different limits than the search assumed).
   DeviceMutate,
+  /// emitCuda/emitOpenCl applies one targeted SourceMutator corruption to
+  /// the emitted kernel (a codegen regression: dropped barrier, skewed
+  /// stride, widened extent, ...) — the fault KernelLint's gate absorbs.
+  CodegenMutate,
 };
 
 /// Number of ChaosSite enumerators; keep in sync when extending the enum
 /// (the name-table round-trip test walks [0, NumChaosSites)).
-inline constexpr unsigned NumChaosSites = 7;
+inline constexpr unsigned NumChaosSites = 8;
 
 /// "enumerator-alloc", "cost-perturb", "codegen-truncate", "sim-traffic",
-/// "autotune-misrank", "repository-corrupt" or "device-mutate".
+/// "autotune-misrank", "repository-corrupt", "device-mutate" or
+/// "codegen-mutate".
 const char *chaosSiteName(ChaosSite Site);
 
 /// Inverse of chaosSiteName; nullopt for unknown strings.
@@ -124,6 +129,12 @@ public:
 
   /// Deterministic corruption byte for position \p Pos (repository reads).
   uint8_t corruptByte(uint64_t Pos) const;
+
+  /// The next deterministic raw draw for \p Site — for sites that need a
+  /// value beyond the fire decision (e.g. picking which source mutation to
+  /// apply). Advances the same per-site query counter as shouldFire, so
+  /// the choice is as seed-stable and site-independent as the firing.
+  uint64_t sample(ChaosSite Site) { return draw(Site); }
 
   /// Firings of \p Site since construction.
   uint64_t fired(ChaosSite Site) const {

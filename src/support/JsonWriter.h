@@ -151,17 +151,21 @@ class Checker {
 public:
   Checker(const char *P, const char *End) : P(P), End(End) {}
 
-  bool run(std::string *Err) {
+  bool run(std::string *Err, size_t *ErrOffset = nullptr) {
     skipWs();
     if (!parseValue()) {
       if (Err)
         *Err = Error + " at offset " + std::to_string(Offset());
+      if (ErrOffset)
+        *ErrOffset = Offset();
       return false;
     }
     skipWs();
     if (P != End) {
       if (Err)
         *Err = "trailing garbage at offset " + std::to_string(Offset());
+      if (ErrOffset)
+        *ErrOffset = Offset();
       return false;
     }
     return true;
@@ -344,6 +348,31 @@ private:
 inline bool validateJson(const std::string &Text, std::string *Err = nullptr) {
   json_detail::Checker C(Text.data(), Text.data() + Text.size());
   return C.run(Err);
+}
+
+/// Like validateJson, but also reports where the first error was found:
+/// \p ErrLine / \p ErrColumn (when non-null) receive the 1-based position
+/// of the byte the checker stopped at. Tools print "file:line:col".
+inline bool validateJsonAt(const std::string &Text, std::string *Err,
+                           size_t *ErrLine, size_t *ErrColumn) {
+  json_detail::Checker C(Text.data(), Text.data() + Text.size());
+  size_t Offset = 0;
+  if (C.run(Err, &Offset))
+    return true;
+  size_t Line = 1, Column = 1;
+  for (size_t I = 0; I < Offset && I < Text.size(); ++I) {
+    if (Text[I] == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+  }
+  if (ErrLine)
+    *ErrLine = Line;
+  if (ErrColumn)
+    *ErrColumn = Column;
+  return false;
 }
 
 } // namespace support

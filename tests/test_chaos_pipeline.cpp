@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelLint.h"
 #include "core/Cogent.h"
 #include "core/KernelPlan.h"
 #include "core/KernelRepository.h"
@@ -99,7 +100,7 @@ uint64_t runOne(const Cogent &Generator, const Contraction &TC,
 }
 
 TEST(ChaosPipeline, SweepSeedsAcrossEverySiteStaysVerified) {
-  // >= 200 combinations: NumChaosSites (7) x 30 seeds = 210 single-site
+  // >= 200 combinations: NumChaosSites (8) x 30 seeds = 240 single-site
   // runs. Each must terminate in budget and return verifier-clean plans.
   gpu::DeviceSpec Device = gpu::makeV100();
   Cogent Generator(Device);
@@ -166,6 +167,7 @@ TEST(ChaosPipeline, SameSeedInjectsIdenticalFaults) {
           << "seed " << Seed << " " << Name;
     }
     EXPECT_EQ(R1->VerifierRejections, R2->VerifierRejections);
+    EXPECT_EQ(R1->LintRejections, R2->LintRejections);
     EXPECT_EQ(R1->Fallback, R2->Fallback);
     EXPECT_EQ(R1->DeviceMutated, R2->DeviceMutated);
     EXPECT_EQ(R1->EnumerationAborted, R2->EnumerationAborted);
@@ -236,6 +238,50 @@ TEST(ChaosPipeline, RepositoryCacheSurvivesInjectedBitRot) {
   EXPECT_GT(CleanLoads, 0u);
 }
 
+TEST(ChaosPipeline, CodegenMutateIsCaughtByTheStrictLintGate) {
+  // The codegen-mutate site corrupts emitted kernel source *after*
+  // emission; the strict KernelLint gate is the only defense on that path.
+  // Arm it alone: every run must still come back with a kernel, every
+  // rejection must trace to a firing (never a false positive on a clean
+  // source), and the kernel finally accepted must lint clean.
+  gpu::DeviceSpec Device = gpu::makeV100();
+  Cogent Generator(Device);
+  Contraction TC = *Contraction::parseUniform("abc-abd-dc", 24);
+
+  uint64_t TotalFired = 0, TotalRejected = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    CogentOptions Options;
+    Options.Chaos.Seed = Seed;
+    Options.Chaos.Sites = support::chaosSiteBit(ChaosSite::CodegenMutate);
+    ErrorOr<core::GenerationResult> Result = Generator.generate(TC, Options);
+    ASSERT_TRUE(Result.hasValue()) << "seed " << Seed;
+    EXPECT_FALSE(Result->empty());
+
+    uint64_t Fired =
+        counterValue(Result->Counters, "chaos.fired.codegen-mutate");
+    EXPECT_LE(Result->LintRejections, Fired) << "seed " << Seed;
+
+    const Contraction &PlanTC =
+        Result->Fallback == FallbackLevel::TtgtBaseline
+            ? *Result->FallbackContraction
+            : TC;
+    core::KernelPlan Plan(PlanTC, Result->best().Config);
+    analysis::LintReport Report =
+        analysis::lintKernel(Plan, Result->best().Source.KernelSource);
+    EXPECT_TRUE(Report.clean())
+        << "seed " << Seed << ": "
+        << (Report.Findings.empty() ? std::string()
+                                    : Report.Findings.front().render());
+
+    TotalFired += Fired;
+    TotalRejected += Result->LintRejections;
+  }
+  // The sweep genuinely mutated sources and the gate genuinely caught
+  // some: a zero in either place means the site or the gate is dead.
+  EXPECT_GT(TotalFired, 0u);
+  EXPECT_GT(TotalRejected, 0u);
+}
+
 TEST(ChaosPipeline, ChaosOffRunsAreUnaffected) {
   // The same options object with Sites == 0 must behave exactly like a
   // chaos-free run: no firings, no rejections, no fallback.
@@ -247,6 +293,8 @@ TEST(ChaosPipeline, ChaosOffRunsAreUnaffected) {
   ASSERT_TRUE(Result.hasValue());
   EXPECT_EQ(counterValue(Result->Counters, "chaos.fired"), 0u);
   EXPECT_EQ(Result->VerifierRejections, 0u);
+  EXPECT_EQ(Result->LintRejections, 0u);
+  EXPECT_TRUE(Result->LintFindings.empty());
   EXPECT_EQ(Result->Fallback, FallbackLevel::None);
   EXPECT_FALSE(Result->DeviceMutated);
   EXPECT_FALSE(Result->EnumerationAborted);

@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelLint.h"
 #include "baselines/Ttgt.h"
 #include "core/Cogent.h"
 #include "core/KernelPlan.h"
@@ -250,6 +251,27 @@ PipelineOutcome runPipeline(
     EXPECT_FALSE(Kernel.Source.KernelSource.empty());
   if (Result->Fallback == FallbackLevel::TtgtBaseline) {
     EXPECT_TRUE(Result->FallbackContraction.has_value());
+  }
+
+  // Strict KernelLint over the winning kernel: every source the fuzzed
+  // pipeline accepts must lint clean, whatever fallback rung produced it,
+  // and with no chaos injector active the strict gate inside generate()
+  // must never have fired.
+  if (!Result->empty()) {
+    const Contraction &PlanTC =
+        Result->Fallback == FallbackLevel::TtgtBaseline
+            ? *Result->FallbackContraction
+            : *TC;
+    core::KernelPlan Plan(PlanTC, Result->best().Config);
+    analysis::LintReport Report =
+        analysis::lintKernel(Plan, Result->best().Source.KernelSource);
+    EXPECT_TRUE(Report.clean()) << TC->toStringWithExtents() << " fallback "
+                                << core::fallbackLevelName(Result->Fallback)
+                                << ": "
+                                << (Report.Findings.empty()
+                                        ? std::string()
+                                        : Report.Findings.front().render());
+    EXPECT_EQ(Result->LintRejections, 0u) << TC->toStringWithExtents();
   }
 
   if (CheckNumerics && !Result->empty())

@@ -1,0 +1,74 @@
+//===- tests/test_lint_traffic.cpp - Full-suite traffic exactness ---------===//
+//
+// Part of the COGENT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Coalescing pass's quantitative guarantee across the whole TCCG seed
+/// suite: analysis::predictTransactions replays the *parsed source's*
+/// access pattern warp by warp, gpu::simulateKernel replays the *plan's* —
+/// on a clean emission the two must agree per operand, transaction for
+/// transaction, at the same clamped extents the bench harness uses for its
+/// traffic cross-check. 48 kernels x simulation keeps this in the slow
+/// lane; tests/test_kernel_lint.cpp carries the single-entry spot check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelLint.h"
+#include "core/CodeGen.h"
+#include "core/Cogent.h"
+#include "core/KernelPlan.h"
+#include "gpu/KernelSimulator.h"
+#include "suite/TccgSuite.h"
+#include "support/Random.h"
+#include "tensor/Reference.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace cogent;
+using ir::Contraction;
+using ir::Operand;
+
+namespace {
+
+TEST(LintTraffic, PredictedTransactionsMatchSimulatorOnWholeSuite) {
+  core::Cogent Generator(gpu::makeV100());
+  for (const suite::SuiteEntry &Entry : suite::tccgSuite()) {
+    Contraction TC = Entry.contraction();
+    ErrorOr<core::GenerationResult> Result = Generator.generate(TC);
+    ASSERT_TRUE(Result.hasValue()) << Entry.Name;
+
+    std::vector<std::pair<char, int64_t>> Extents;
+    for (char Name : TC.allIndices())
+      Extents.emplace_back(Name, std::min<int64_t>(TC.extent(Name), 8));
+    ErrorOr<Contraction> Small = Contraction::parse(TC.toString(), Extents);
+    ASSERT_TRUE(Small.hasValue()) << Entry.Name;
+    core::KernelConfig Clamped = Result->best().Config.clampedTo(*Small);
+    core::KernelPlan Plan(*Small, Clamped);
+    std::string Source = core::emitCuda(Plan).KernelSource;
+
+    ErrorOr<analysis::TrafficPrediction> Predicted =
+        analysis::predictTransactions(Plan, Source);
+    ASSERT_TRUE(Predicted.hasValue())
+        << Entry.Name << ": " << Predicted.errorMessage();
+
+    Rng Gen(0xbe7c + static_cast<uint64_t>(Entry.Id));
+    tensor::Tensor<double> A = tensor::makeOperand<double>(*Small, Operand::A);
+    tensor::Tensor<double> B = tensor::makeOperand<double>(*Small, Operand::B);
+    A.fillRandom(Gen);
+    B.fillRandom(Gen);
+    tensor::Tensor<double> C = tensor::makeOperand<double>(*Small, Operand::C);
+    gpu::SimResult Sim = gpu::simulateKernel(Plan, C, A, B);
+
+    EXPECT_EQ(Predicted->TransactionsA, Sim.TransactionsA) << Entry.Name;
+    EXPECT_EQ(Predicted->TransactionsB, Sim.TransactionsB) << Entry.Name;
+    EXPECT_EQ(Predicted->TransactionsC, Sim.TransactionsC) << Entry.Name;
+  }
+}
+
+} // namespace

@@ -95,6 +95,33 @@ TEST(JsonValidate, RejectsMalformedDocuments) {
   }
 }
 
+TEST(JsonValidate, ReportsLineAndColumnOfFirstError) {
+  // json_lint's file:line:col diagnostics come straight from this helper;
+  // both coordinates are 1-based and point at the offending character.
+  struct Case {
+    const char *Text;
+    size_t Line, Column;
+  };
+  for (const Case &C : {
+           Case{"{\"a\":}", 1, 6},          // value missing after the colon
+           Case{"{\n  \"a\": 1,\n}", 3, 1}, // trailing comma before the brace
+           Case{"[1,\n 2,\n tru]", 3, 5},   // bad literal on line 3
+           Case{"{}x", 1, 3},               // trailing garbage
+       }) {
+    std::string Err;
+    size_t Line = 0, Column = 0;
+    EXPECT_FALSE(support::validateJsonAt(C.Text, &Err, &Line, &Column))
+        << C.Text;
+    EXPECT_FALSE(Err.empty()) << C.Text;
+    EXPECT_EQ(Line, C.Line) << C.Text;
+    EXPECT_EQ(Column, C.Column) << C.Text;
+  }
+
+  size_t Line = 7, Column = 7;
+  std::string Err;
+  EXPECT_TRUE(support::validateJsonAt("{\"a\":1}", &Err, &Line, &Column));
+}
+
 //===----------------------------------------------------------------------===//
 // Trace sessions and spans
 //===----------------------------------------------------------------------===//
@@ -283,6 +310,43 @@ TEST(Counters, DeltaIsDeterministicAcrossIdenticalRuns) {
     EXPECT_STREQ(First->Counters[I].Name, Second->Counters[I].Name);
     EXPECT_EQ(First->Counters[I].Value, Second->Counters[I].Value)
         << First->Counters[I].Name;
+  }
+}
+
+TEST(Counters, ConcurrentRunsDoNotBleedIntoEachOthersDelta) {
+  // Regression: the old snapshot-diff attribution charged one run with
+  // every increment any *other* thread made while it was in flight. The
+  // per-thread CounterScope must give each concurrent generate() exactly
+  // its own work — most crisply, exactly one generate-run each.
+  constexpr int NumThreads = 4;
+  std::vector<ErrorOr<core::GenerationResult>> Results;
+  for (int I = 0; I < NumThreads; ++I)
+    Results.push_back(Error("not run"));
+
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([I, &Results] {
+      core::Cogent Generator(gpu::makeV100());
+      ir::Contraction TC =
+          *ir::Contraction::parseUniform("abcd-aebf-dfce", 24);
+      Results[I] = Generator.generate(TC, {});
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int I = 0; I < NumThreads; ++I) {
+    ASSERT_TRUE(Results[I].hasValue()) << "thread " << I;
+    EXPECT_EQ(counterValue(Results[I]->Counters, "cogent.generate-runs"), 1u)
+        << "thread " << I;
+    // Identical inputs on every thread: the whole attributed delta must be
+    // identical too, concurrency notwithstanding.
+    if (I > 0) {
+      ASSERT_EQ(Results[I]->Counters.size(), Results[0]->Counters.size());
+      for (size_t J = 0; J < Results[I]->Counters.size(); ++J)
+        EXPECT_EQ(Results[I]->Counters[J].Value,
+                  Results[0]->Counters[J].Value)
+            << Results[I]->Counters[J].Name;
+    }
   }
 }
 

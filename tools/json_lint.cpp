@@ -41,10 +41,12 @@ int main(int Argc, char **Argv) {
     std::fclose(File);
 
     std::string Err;
-    if (cogent::support::validateJson(Text, &Err)) {
+    size_t Line = 0, Column = 0;
+    if (cogent::support::validateJsonAt(Text, &Err, &Line, &Column)) {
       std::printf("%s: ok (%zu bytes)\n", Argv[I], Text.size());
     } else {
-      std::fprintf(stderr, "%s: malformed JSON: %s\n", Argv[I], Err.c_str());
+      std::fprintf(stderr, "%s:%zu:%zu: malformed JSON: %s\n", Argv[I], Line,
+                   Column, Err.c_str());
       ++Failures;
     }
   }
