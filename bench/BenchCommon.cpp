@@ -91,6 +91,8 @@ cogent::bench::runTccgComparison(const gpu::DeviceSpec &Device,
       Row.VerifierRejections = Result->VerifierRejections;
       Row.LintFindings = Result->LintFindings.size();
       Row.LintRejections = Result->LintRejections;
+      Row.RegisterPressurePlan = Result->best().PlanPressure;
+      Row.RegisterPressureSource = Result->best().SourcePressure;
       if (Options.SimTraffic)
         crossCheckTraffic(Row, TC, Result->best().Config, ElementSize,
                           Options);
@@ -194,6 +196,10 @@ cogent::bench::renderComparisonJson(const std::vector<ComparisonRow> &Rows,
     W.member("verifier_rejections", Row.VerifierRejections);
     W.member("lint_findings", Row.LintFindings);
     W.member("lint_rejections", Row.LintRejections);
+    W.member("register_pressure_plan",
+             static_cast<uint64_t>(Row.RegisterPressurePlan));
+    W.member("register_pressure_source",
+             static_cast<uint64_t>(Row.RegisterPressureSource));
     if (Row.SimExtent > 0) {
       W.key("traffic_cross_check");
       W.beginObject();
@@ -217,16 +223,26 @@ cogent::bench::renderComparisonJson(const std::vector<ComparisonRow> &Rows,
   uint64_t TotalRejections = 0;
   uint64_t TotalLintFindings = 0;
   uint64_t TotalLintRejections = 0;
+  uint64_t MaxPressureDelta = 0;
   for (const ComparisonRow &Row : Rows) {
     TotalGenMs += Row.CogentElapsedMs;
     TotalRejections += Row.VerifierRejections;
     TotalLintFindings += Row.LintFindings;
     TotalLintRejections += Row.LintRejections;
+    if (Row.RegisterPressureSource > 0) {
+      uint64_t Delta = Row.RegisterPressurePlan > Row.RegisterPressureSource
+                           ? Row.RegisterPressurePlan -
+                                 Row.RegisterPressureSource
+                           : Row.RegisterPressureSource -
+                                 Row.RegisterPressurePlan;
+      MaxPressureDelta = std::max(MaxPressureDelta, Delta);
+    }
   }
   W.member("total_codegen_ms", TotalGenMs);
   W.member("total_verifier_rejections", TotalRejections);
   W.member("total_lint_findings", TotalLintFindings);
   W.member("total_lint_rejections", TotalLintRejections);
+  W.member("max_register_pressure_delta", MaxPressureDelta);
   W.endObject();
   W.endObject();
   return W.take();

@@ -55,6 +55,12 @@ struct ComparisonRow {
   /// §12); both are zero for a healthy emitter.
   uint64_t LintFindings = 0;
   uint64_t LintRejections = 0;
+  /// Register-pressure estimates of the winning kernel: the plan-side
+  /// analytic one and KernelDataflow's liveness-derived source-side one
+  /// (docs/ARCHITECTURE.md §13). They agree within
+  /// analysis::PressureToleranceRegs for a healthy emitter.
+  unsigned RegisterPressurePlan = 0;
+  unsigned RegisterPressureSource = 0;
 };
 
 /// Knobs for runTccgComparison beyond the element size.

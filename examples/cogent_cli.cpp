@@ -16,6 +16,7 @@
 ///              [--smem-per-block N] [--transaction-bytes N]
 ///              [--chaos-seed N] [--chaos-sites LIST]
 ///              [--lint=off|warn|strict] [--explain-lint]
+///              [--explain-dataflow] [--pressure-ranking]
 ///              [--trace=FILE] [--metrics=FILE] [--quiet]
 /// Examples:
 ///   cogent_cli abcd-aebf-dfce 72
@@ -37,6 +38,13 @@
 /// parsed resource table, staging strides, barrier structure and any
 /// findings — to stderr.
 ///
+/// --explain-dataflow dumps KernelDataflow's view of the winning kernel —
+/// the CFG, per-location liveness, register-pressure table, staging-buffer
+/// lifetimes and barrier verdicts — to stderr. --pressure-ranking makes
+/// the search rank candidates by the refined liveness-backed register
+/// estimate's occupancy instead of the flat per-config one (the estimates
+/// are reported in --metrics either way).
+///
 /// --chaos-seed/--chaos-sites arm the deterministic fault-injection layer
 /// (builds configured with COGENT_CHAOS=ON, the default): --chaos-sites
 /// takes "all" or a comma-separated subset of the named sites in
@@ -55,6 +63,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelDataflow.h"
 #include "analysis/KernelLint.h"
 #include "core/Cogent.h"
 #include "core/KernelPlan.h"
@@ -77,7 +86,8 @@ static void printUsage(const char *Argv0) {
                "[--deadline-ms X] [--max-source-bytes N] "
                "[--smem-per-block N] [--transaction-bytes N] "
                "[--chaos-seed N] [--chaos-sites LIST] "
-               "[--lint=off|warn|strict] [--explain-lint] [--trace=FILE] "
+               "[--lint=off|warn|strict] [--explain-lint] "
+               "[--explain-dataflow] [--pressure-ranking] [--trace=FILE] "
                "[--metrics=FILE] [--quiet]\n",
                Argv0);
 }
@@ -112,6 +122,7 @@ int main(int Argc, char **Argv) {
   bool UseDoubleBuffer = false;
   bool Explain = false;
   bool ExplainLint = false;
+  bool ExplainDataflow = false;
   bool Quiet = false;
   std::string TracePath;
   std::string MetricsPath;
@@ -135,6 +146,10 @@ int main(int Argc, char **Argv) {
       Explain = true;
     } else if (Arg == "--explain-lint") {
       ExplainLint = true;
+    } else if (Arg == "--explain-dataflow") {
+      ExplainDataflow = true;
+    } else if (Arg == "--pressure-ranking") {
+      Options.PressureAwareRanking = true;
     } else if (std::string LintArg;
                fileArg("--lint", Argc, Argv, &I, &LintArg)) {
       std::optional<analysis::LintMode> Mode =
@@ -319,6 +334,23 @@ int main(int Argc, char **Argv) {
                  analysis::explainLint(
                      Plan, Result->best().Source.KernelSource, LintOpts)
                      .c_str());
+  }
+  if (ExplainDataflow && !Quiet) {
+    ErrorOr<analysis::KernelModel> Model =
+        analysis::parseKernelSource(Result->best().Source.KernelSource);
+    if (!Model) {
+      std::fprintf(stderr, "error: %s\n",
+                   Model.error().renderWithCode().c_str());
+      return 1;
+    }
+    ErrorOr<analysis::DataflowInfo> Flow = analysis::buildDataflow(*Model);
+    if (!Flow) {
+      std::fprintf(stderr, "error: %s\n",
+                   Flow.error().renderWithCode().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s\n",
+                 analysis::explainDataflow(*Model, *Flow).c_str());
   }
   if (UseOpenCl || UseDoubleBuffer) {
     // Re-emit the winning plan in the requested dialect/pipeline.

@@ -6,6 +6,8 @@
 
 #include "analysis/KernelLint.h"
 
+#include "analysis/KernelDataflow.h"
+#include "core/CostModel.h"
 #include "support/Counters.h"
 
 #include <algorithm>
@@ -33,8 +35,10 @@ COGENT_COUNTER(NumLintFindingsTotal, "lint.findings",
 //===----------------------------------------------------------------------===//
 
 constexpr const char *PassNames[NumLintPasses] = {
-    "structure",  "barrier-placement", "bank-conflict",
-    "coalescing", "bounds-check",      "resource-decl",
+    "structure",      "barrier-placement", "bank-conflict",
+    "coalescing",     "bounds-check",      "resource-decl",
+    "register-pressure", "redundant-barrier", "dead-store",
+    "smem-lifetime",
 };
 
 constexpr const char *ModeNames[3] = {"off", "warn", "strict"};
@@ -941,6 +945,73 @@ void passBarrierPlacement(LintContext &C) {
 }
 
 //===----------------------------------------------------------------------===//
+// Dataflow-backed passes — RegisterPressure, RedundantBarrier, DeadStore
+// and SmemLifetime all consume one shared KernelDataflow build.
+//===----------------------------------------------------------------------===//
+
+void passRegisterPressure(LintContext &C, const DataflowInfo &Flow) {
+  unsigned Source = Flow.pressure();
+  unsigned PlanEstimate =
+      core::planRegisterPressure(C.Plan, C.Opts.ElementSize);
+  if (Source > PlanEstimate + PressureToleranceRegs)
+    C.report(LintPass::RegisterPressure, 0,
+             "liveness-derived register pressure " + std::to_string(Source) +
+                 " exceeds the plan estimate " + std::to_string(PlanEstimate) +
+                 " by more than " + std::to_string(PressureToleranceRegs) +
+                 " registers");
+  if (Source > C.Opts.RegisterBudget + PressureToleranceRegs)
+    C.report(LintPass::RegisterPressure, 0,
+             "liveness-derived register pressure " + std::to_string(Source) +
+                 " exceeds the device budget of " +
+                 std::to_string(C.Opts.RegisterBudget) + " registers");
+}
+
+void passRedundantBarrier(LintContext &C, const DataflowInfo &Flow) {
+  for (const BarrierVerdict &V : Flow.Barriers)
+    if (V.Redundant)
+      C.report(LintPass::RedundantBarrier, V.Line,
+               "barrier orders no cross-thread shared-memory dependence");
+}
+
+void passDeadStore(LintContext &C, const DataflowInfo &Flow) {
+  for (const DefInfo &D : Flow.Defs) {
+    if (!D.Dead)
+      continue;
+    const Location &Loc = Flow.Locations[D.Loc];
+    if (Loc.Space == LocSpace::Scalar)
+      C.report(LintPass::DeadStore, D.Line,
+               Flow.useCount(D.Loc) == 0
+                   ? "scalar '" + Loc.Name + "' is written but never used"
+                   : "store to '" + Loc.Name +
+                         "' is overwritten before any use");
+    else if (Loc.Space == LocSpace::RegisterArray)
+      C.report(LintPass::DeadStore, D.Line,
+               "register tile '" + Loc.Name + "' is staged but never read");
+  }
+  for (const UndefinedUse &U : Flow.UndefinedUses)
+    C.report(LintPass::DeadStore, U.Line,
+             "'" + Flow.Locations[U.Loc].Name +
+                 "' is read before any definition");
+}
+
+void passSmemLifetime(LintContext &C, const DataflowInfo &Flow) {
+  for (const SmemBufferLifetime &L : Flow.SmemLifetimes) {
+    const Location &Loc = Flow.Locations[L.Loc];
+    if (L.Written && !L.Read)
+      C.report(LintPass::SmemLifetime, 0,
+               "shared buffer '" + Loc.Name + "' is written but never read");
+    else if (L.Read && !L.Written)
+      C.report(LintPass::SmemLifetime, 0,
+               "shared buffer '" + Loc.Name + "' is read but never written");
+  }
+  if (Flow.DisjointSmemStaging)
+    C.report(LintPass::SmemLifetime, 0,
+             "staging buffers have disjoint live ranges; the allocations "
+             "could share storage",
+             LintSeverity::Warning);
+}
+
+//===----------------------------------------------------------------------===//
 // lintKernel
 //===----------------------------------------------------------------------===//
 
@@ -1021,6 +1092,13 @@ LintReport cogent::analysis::lintKernel(const KernelPlan &Plan,
   passCoalescing(Ctx);
   passBoundsCheck(Ctx);
   passResourceDecl(Ctx);
+  if (ErrorOr<DataflowInfo> Flow = buildDataflow(*Model)) {
+    Report.SourcePressure = Flow->pressure();
+    passRegisterPressure(Ctx, *Flow);
+    passRedundantBarrier(Ctx, *Flow);
+    passDeadStore(Ctx, *Flow);
+    passSmemLifetime(Ctx, *Flow);
+  }
   dedupeFindings(Report.Findings);
   NumLintFindingsTotal += Report.Findings.size();
   return Report;

@@ -24,6 +24,15 @@
 ///     array sizes, and guard completeness vs. tensor extents.
 ///   ResourceDecl     — #define table, __shared__ bytes and register-tile
 ///     declarations must match the verified plan.
+///   RegisterPressure — KernelDataflow's per-thread liveness-derived
+///     register estimate must stay within PressureToleranceRegs of the
+///     plan's analytic estimate and the device budget.
+///   RedundantBarrier — every __syncthreads() must order at least one
+///     cross-thread SMEM dependence (trace replay over KernelDataflow).
+///   DeadStore        — no scalar may be written and never read, or read
+///     before any definition; no register tile may be staged yet unread.
+///   SmemLifetime     — staging buffers must be both written and read;
+///     disjoint A/B live ranges are surfaced as a reuse note.
 ///
 /// Findings are typed (pass + severity + message + line) and deliberately
 /// fire only on plan-vs-source inconsistency, never on inherent layout
@@ -53,10 +62,14 @@ enum class LintPass {
   Coalescing,
   BoundsCheck,
   ResourceDecl,
+  RegisterPressure, ///< Liveness-derived pressure vs. plan/device budget.
+  RedundantBarrier, ///< Barriers that order no SMEM dependence.
+  DeadStore,        ///< Writes never read; reads never written.
+  SmemLifetime,     ///< Staging-buffer live ranges and reuse notes.
 };
 
 /// Number of LintPass enumerators (name-table round-trip tests walk this).
-inline constexpr unsigned NumLintPasses = 6;
+inline constexpr unsigned NumLintPasses = 10;
 
 /// Stable identifier, e.g. "barrier-placement".
 const char *lintPassName(LintPass Pass);
@@ -95,11 +108,20 @@ struct LintOptions {
   unsigned ElementSize = 8;
   unsigned WarpSize = 32;
   unsigned TransactionBytes = 128;
+  /// Per-thread register budget the RegisterPressure pass checks against
+  /// (CUDA's 255 architectural limit by default; the pipeline syncs it
+  /// from DeviceSpec::MaxRegistersPerThread).
+  unsigned RegisterBudget = 255;
 };
 
 /// The result of one lintKernel run.
 struct LintReport {
   std::vector<LintFinding> Findings;
+  /// KernelDataflow's per-thread register-pressure estimate for the linted
+  /// source (0 when the source did not parse or lint was off). Always
+  /// filled when the analyzer runs, independent of findings — this is the
+  /// always-on reporting half of the RegisterPressure pass.
+  unsigned SourcePressure = 0;
 
   unsigned errorCount() const {
     unsigned N = 0;

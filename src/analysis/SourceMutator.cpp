@@ -51,9 +51,41 @@ const char *cogent::analysis::mutationKindName(MutationKind Kind) {
     return "skew-define-nthreads";
   case MutationKind::ShrinkRegTile:
     return "shrink-reg-tile";
+  case MutationKind::DuplicateFirstBarrier:
+    return "duplicate-first-barrier";
+  case MutationKind::DuplicateSecondBarrier:
+    return "duplicate-second-barrier";
+  case MutationKind::InjectStoreBarrier:
+    return "inject-store-barrier";
+  case MutationKind::InjectUnusedDecl:
+    return "inject-unused-decl";
+  case MutationKind::InjectDeadStore:
+    return "inject-dead-store";
+  case MutationKind::ShadowDecodeResult:
+    return "shadow-decode-result";
+  case MutationKind::InflateRegTileC:
+    return "inflate-reg-tile-c";
+  case MutationKind::InflateRegTileA:
+    return "inflate-reg-tile-a";
+  case MutationKind::InflateRegTileB:
+    return "inflate-reg-tile-b";
+  case MutationKind::RetargetComputeReadA:
+    return "retarget-compute-read-a";
+  case MutationKind::RetargetComputeReadB:
+    return "retarget-compute-read-b";
+  case MutationKind::RetargetStagingStore:
+    return "retarget-staging-store";
   }
   assert(false && "unknown mutation kind");
   return "?";
+}
+
+std::optional<MutationKind>
+cogent::analysis::mutationKindFromName(const std::string &Name) {
+  for (unsigned I = 0; I < NumMutationKinds; ++I)
+    if (Name == mutationKindName(static_cast<MutationKind>(I)))
+      return static_cast<MutationKind>(I);
+  return std::nullopt;
 }
 
 namespace {
@@ -139,11 +171,13 @@ size_t findFirst(const std::string &S, const std::string &Token) {
   return S.find(Token);
 }
 
-/// The first SMEM staging store: a line assigning into s_A with the
-/// `= inb ?` guard. Returns npos when absent (e.g. truncated source).
-size_t findStagingStore(const std::string &S) {
+/// The first SMEM staging store into \p Array: a line assigning into it
+/// with the `= inb ?` guard. Returns npos when absent (e.g. truncated
+/// source).
+size_t findStagingStoreOf(const std::string &S, const std::string &Array) {
   size_t Pos = 0;
-  while ((Pos = S.find("s_A[", Pos)) != std::string::npos) {
+  std::string Token = Array + "[";
+  while ((Pos = S.find(Token, Pos)) != std::string::npos) {
     size_t End = lineEndAt(S, Pos);
     size_t Guard = S.find("= inb ?", Pos);
     if (Guard != std::string::npos && Guard < End)
@@ -151,6 +185,51 @@ size_t findStagingStore(const std::string &S) {
     Pos = End;
   }
   return std::string::npos;
+}
+
+size_t findStagingStore(const std::string &S) {
+  return findStagingStoreOf(S, "s_A");
+}
+
+/// Inserts \p Text as a new line directly after the line containing
+/// \p Pos, copying that line's indentation.
+std::string insertLineAfter(const std::string &S, size_t Pos,
+                            const std::string &Text) {
+  size_t Start = lineStartAt(S, Pos);
+  size_t End = lineEndAt(S, Pos);
+  size_t Indent = Start;
+  while (Indent < End && S[Indent] == ' ')
+    ++Indent;
+  std::string Line = "\n" + S.substr(Start, Indent - Start) + Text;
+  return S.substr(0, End) + Line + S.substr(End);
+}
+
+/// Inserts \p Text as a new line directly before the line containing
+/// \p Pos, copying that line's indentation.
+std::string insertLineBefore(const std::string &S, size_t Pos,
+                             const std::string &Text) {
+  size_t Start = lineStartAt(S, Pos);
+  size_t End = lineEndAt(S, Pos);
+  size_t Indent = Start;
+  while (Indent < End && S[Indent] == ' ')
+    ++Indent;
+  std::string Line = S.substr(Start, Indent - Start) + Text + "\n";
+  return S.substr(0, Start) + Line + S.substr(Start);
+}
+
+/// Flips the staging-buffer letter (A <-> B) right after \p Pos, which
+/// points at the 's' of "s_A"/"s_B". Returns false when the text there
+/// is not a staging-buffer name.
+bool flipBufferAt(std::string &S, size_t Pos) {
+  if (Pos + 2 >= S.size() || S[Pos] != 's' || S[Pos + 1] != '_')
+    return false;
+  if (S[Pos + 2] == 'A')
+    S[Pos + 2] = 'B';
+  else if (S[Pos + 2] == 'B')
+    S[Pos + 2] = 'A';
+  else
+    return false;
+  return true;
 }
 
 } // namespace
@@ -309,6 +388,89 @@ std::string cogent::analysis::applyMutation(const std::string &KernelSource,
     if (Pos == std::string::npos)
       return S;
     S.replace(Pos, 17, "r_C[REGX];");
+    return S;
+  }
+  case MutationKind::DuplicateFirstBarrier: {
+    if (!Bar)
+      return S;
+    return insertLineAfter(S, S.find(Bar), Bar);
+  }
+  case MutationKind::DuplicateSecondBarrier: {
+    if (!Bar)
+      return S;
+    return insertLineAfter(S, S.rfind(Bar), Bar);
+  }
+  case MutationKind::InjectStoreBarrier: {
+    size_t Pos = findFirst(S, "// (4) store");
+    if (Pos == std::string::npos || !Bar)
+      return S;
+    return insertLineBefore(S, Pos, Bar);
+  }
+  case MutationKind::InjectUnusedDecl: {
+    size_t Pos = findFirst(S, "int tid = ");
+    if (Pos == std::string::npos)
+      return S;
+    return insertLineAfter(S, Pos, "int ds_unused = tid;");
+  }
+  case MutationKind::InjectDeadStore: {
+    size_t Pos = findFirst(S, "int tid = ");
+    if (Pos == std::string::npos)
+      return S;
+    // The declaration is read once, but the reassigned value never is.
+    return insertLineAfter(S, Pos,
+                           "int ds_over = tid; ds_over = ds_over + 1;");
+  }
+  case MutationKind::ShadowDecodeResult: {
+    size_t Pos = findFirst(S, "const int i_");
+    if (Pos == std::string::npos)
+      return S;
+    size_t NameStart = Pos + 10; // after "const int "
+    size_t NameEnd = S.find(' ', NameStart);
+    if (NameEnd == std::string::npos)
+      return S;
+    std::string Name = S.substr(NameStart, NameEnd - NameStart);
+    return insertLineAfter(S, Pos, Name + " = 0;");
+  }
+  case MutationKind::InflateRegTileC: {
+    size_t Pos = findFirst(S, "r_C[REGX * REGY];");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos, 17, "r_C[REGX * REGY * 8];");
+    return S;
+  }
+  case MutationKind::InflateRegTileA: {
+    size_t Pos = findFirst(S, "r_A[REGX];");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos, 10, "r_A[REGX * 64];");
+    return S;
+  }
+  case MutationKind::InflateRegTileB: {
+    size_t Pos = findFirst(S, "r_B[REGY];");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos, 10, "r_B[REGY * 64];");
+    return S;
+  }
+  case MutationKind::RetargetComputeReadA: {
+    size_t Pos = findFirst(S, "r_A[rx] = s_");
+    if (Pos == std::string::npos)
+      return S;
+    flipBufferAt(S, Pos + 10); // the "s_X" after "r_A[rx] = "
+    return S;
+  }
+  case MutationKind::RetargetComputeReadB: {
+    size_t Pos = findFirst(S, "r_B[ry] = s_");
+    if (Pos == std::string::npos)
+      return S;
+    flipBufferAt(S, Pos + 10);
+    return S;
+  }
+  case MutationKind::RetargetStagingStore: {
+    size_t Pos = findStagingStoreOf(S, "s_B");
+    if (Pos == std::string::npos)
+      return S;
+    flipBufferAt(S, Pos);
     return S;
   }
   }

@@ -18,6 +18,7 @@
 #ifndef COGENT_ANALYSIS_SOURCEMUTATOR_H
 #define COGENT_ANALYSIS_SOURCEMUTATOR_H
 
+#include <optional>
 #include <string>
 
 namespace cogent {
@@ -50,13 +51,34 @@ enum class MutationKind : unsigned {
   SkewDefineRegX,     ///< +1 the REGX define.
   SkewDefineNthreads, ///< Double the NTHREADS define.
   ShrinkRegTile,      ///< Declare r_C[REGX] instead of r_C[REGX * REGY].
+  // RedundantBarrier kills.
+  DuplicateFirstBarrier,  ///< Duplicate the first barrier statement.
+  DuplicateSecondBarrier, ///< Duplicate the last barrier statement.
+  InjectStoreBarrier,     ///< Insert a barrier before the store phase.
+  // DeadStore kills.
+  InjectUnusedDecl,   ///< Declare a scalar that is never read.
+  InjectDeadStore,    ///< Assign a scalar whose value is never read.
+  ShadowDecodeResult, ///< Overwrite a decode result before its first use.
+  // RegisterPressure kills.
+  InflateRegTileC, ///< Declare r_C 8x larger than the plan's tile.
+  InflateRegTileA, ///< Declare r_A 64x larger than the plan's tile.
+  InflateRegTileB, ///< Declare r_B 64x larger than the plan's tile.
+  // SmemLifetime kills.
+  RetargetComputeReadA, ///< Read r_A's staging from the other buffer.
+  RetargetComputeReadB, ///< Read r_B's staging from the other buffer.
+  RetargetStagingStore, ///< Store s_B's slice into s_A instead.
 };
 
 /// Number of MutationKind enumerators.
-inline constexpr unsigned NumMutationKinds = 18;
+inline constexpr unsigned NumMutationKinds = 30;
 
 /// Stable identifier, e.g. "drop-first-barrier".
 const char *mutationKindName(MutationKind Kind);
+
+/// Inverse of mutationKindName; returns std::nullopt for unknown names.
+/// The chaos codegen-mutate site draws kinds through this round-trip so
+/// an enum/table drift surfaces as a refused mutation, not a wild cast.
+std::optional<MutationKind> mutationKindFromName(const std::string &Name);
 
 /// Applies \p Kind to \p KernelSource. Returns the mutated text, or the
 /// input unchanged when the kind's pattern does not occur (never throws,

@@ -95,10 +95,16 @@ void maybeMutateSource(std::string &KernelSource) {
   support::FaultInjector *Injector = support::activeFaultInjector();
   if (!Injector)
     return;
-  auto Kind = static_cast<analysis::MutationKind>(
-      Injector->sample(support::ChaosSite::CodegenMutate) %
-      analysis::NumMutationKinds);
-  KernelSource = analysis::applyMutation(KernelSource, Kind);
+  unsigned Index = Injector->sample(support::ChaosSite::CodegenMutate) %
+                   analysis::NumMutationKinds;
+  // Draw through the name table's round-trip rather than a raw cast so a
+  // kind/table drift shows up as a refused mutation, not arbitrary
+  // enum values.
+  std::optional<analysis::MutationKind> Kind = analysis::mutationKindFromName(
+      analysis::mutationKindName(static_cast<analysis::MutationKind>(Index)));
+  if (!Kind)
+    return;
+  KernelSource = analysis::applyMutation(KernelSource, *Kind);
 }
 
 std::string withType(const char *Pattern, const std::string &ElemT) {
@@ -322,11 +328,17 @@ GeneratedSource emitKernel(const KernelPlan &Plan, const Dialect &Dia,
      << "; blkLinear < totalBlocks; blkLinear += " << Dia.GridDimX
      << ") {\n";
   OS << "  // grid decode: per-external tile bases\n";
-  OS << "  " << Dia.OffsetType << " blk = blkLinear;\n";
-  for (const PlanDim &Dim : Plan.gridDims())
+  if (!Plan.gridDims().empty())
+    OS << "  " << Dia.OffsetType << " blk = blkLinear;\n";
+  for (size_t I = 0; I < Plan.gridDims().size(); ++I) {
+    const PlanDim &Dim = Plan.gridDims()[I];
     OS << "  const " << Dia.OffsetType << " " << baseVar(Dim.Name)
-       << " = (blk % nt_" << Dim.Name << ") * " << Dim.Tile
-       << "; blk /= nt_" << Dim.Name << ";\n";
+       << " = (blk % nt_" << Dim.Name << ") * " << Dim.Tile << ";";
+    // The cursor after the last digit is dead; skip the divide.
+    if (I + 1 != Plan.gridDims().size())
+      OS << " blk /= nt_" << Dim.Name << ";";
+    OS << "\n";
+  }
   OS << "\n";
   OS << "  for (int i = 0; i < REGX * REGY; ++i)\n";
   OS << "    r_C[i] = " << (ElemT == "double" ? "0.0" : "0.0f") << ";\n";
@@ -336,10 +348,15 @@ GeneratedSource emitKernel(const KernelPlan &Plan, const Dialect &Dia,
     if (Plan.stepDims().empty())
       return;
     OS << Indent << Dia.OffsetType << " sq = " << StepExpr << ";\n";
-    for (const PlanDim &Dim : Plan.stepDims())
+    for (size_t I = 0; I < Plan.stepDims().size(); ++I) {
+      const PlanDim &Dim = Plan.stepDims()[I];
       OS << Indent << "const " << Dia.OffsetType << " "
          << kbaseVar(Dim.Name) << " = (sq % ns_" << Dim.Name << ") * "
-         << Dim.Tile << "; sq /= ns_" << Dim.Name << ";\n";
+         << Dim.Tile << ";";
+      if (I + 1 != Plan.stepDims().size())
+        OS << " sq /= ns_" << Dim.Name << ";";
+      OS << "\n";
+    }
   };
 
   std::string ElemsA = std::to_string(Plan.sliceElements(Operand::A));

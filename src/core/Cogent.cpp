@@ -198,6 +198,9 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
     KernelConfig Config;
     TransactionCost Cost;
     gpu::OccupancyResult Occ;
+    /// Occupancy under planRegisterPressure; equals Occ unless
+    /// PressureAwareRanking recomputed it.
+    gpu::OccupancyResult RankOcc;
   };
 
   // Rank the candidates that pass verification by modeled DRAM
@@ -233,15 +236,26 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
       if (!CostOk)
         continue;
       R.Occ = planOccupancy(Plan, Run, Options.ElementSize);
+      R.RankOcc = Options.PressureAwareRanking
+                      ? planOccupancyUnderPressure(Plan, Run,
+                                                   Options.ElementSize)
+                      : R.Occ;
       R.Config = std::move(Config);
       Ranking.push_back(std::move(R));
     }
+    // Pressure-aware mode sinks configurations whose refined register
+    // footprint cannot be resident at all, and breaks cost ties with the
+    // pressure-derived occupancy instead of the flat one.
     std::stable_sort(Ranking.begin(), Ranking.end(),
                      [](const Ranked &X, const Ranked &Y) {
+                       bool XUnfit = X.RankOcc.BlocksPerSM == 0;
+                       bool YUnfit = Y.RankOcc.BlocksPerSM == 0;
+                       if (XUnfit != YUnfit)
+                         return YUnfit;
                        if (X.Cost.total() != Y.Cost.total())
                          return X.Cost.total() < Y.Cost.total();
-                       if (X.Occ.Occupancy != Y.Occ.Occupancy)
-                         return X.Occ.Occupancy > Y.Occ.Occupancy;
+                       if (X.RankOcc.Occupancy != Y.RankOcc.Occupancy)
+                         return X.RankOcc.Occupancy > Y.RankOcc.Occupancy;
                        return X.Config.threadsPerBlock() >
                               Y.Config.threadsPerBlock();
                      });
@@ -258,6 +272,8 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
   analysis::LintOptions LintOpts = Options.Lint;
   LintOpts.ElementSize = Options.ElementSize;
   LintOpts.TransactionBytes = Run.TransactionBytes;
+  LintOpts.RegisterBudget = Run.MaxRegistersPerThread;
+  Result.PressureRanking = Options.PressureAwareRanking;
   auto NoteLintRejection = [&](const analysis::LintReport &Report) {
     ++Result.LintRejections;
     ++NumLintRejections;
@@ -297,6 +313,7 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
       Kernel.Cost = Ranking[I].Cost;
       Kernel.Occupancy = Ranking[I].Occ;
       KernelPlan Plan(EmitTC, Kernel.Config);
+      Kernel.PlanPressure = planRegisterPressure(Plan, Options.ElementSize);
       bool SourceOk = false;
       std::vector<analysis::LintFinding> Accepted;
       for (unsigned Attempt = 0; Attempt < EmitRetries && !SourceOk;
@@ -320,6 +337,7 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
           NoteLintRejection(Report);
           continue;
         }
+        Kernel.SourcePressure = Report.SourcePressure;
         Accepted = std::move(Report.Findings);
       }
       if (!SourceOk)
@@ -530,6 +548,7 @@ std::string cogent::core::renderMetricsJson(const Contraction &TC,
   W.member("enumeration_aborted", Result.EnumerationAborted);
   W.member("device_mutated", Result.DeviceMutated);
   W.member("lint_rejections", Result.LintRejections);
+  W.member("pressure_ranking", Result.PressureRanking);
 
   W.key("lint_findings");
   W.beginArray();
@@ -554,6 +573,10 @@ std::string cogent::core::renderMetricsJson(const Contraction &TC,
     W.member("transactions_c", Kernel.Cost.StoreC);
     W.member("occupancy", Kernel.Occupancy.Occupancy);
     W.member("occupancy_limiter", Kernel.Occupancy.Limiter);
+    W.member("register_pressure_plan",
+             static_cast<uint64_t>(Kernel.PlanPressure));
+    W.member("register_pressure_source",
+             static_cast<uint64_t>(Kernel.SourcePressure));
     W.member("predicted_gflops", Kernel.Predicted.Gflops);
     W.member("predicted_time_ms", Kernel.Predicted.TimeMs);
     W.member("bound", Kernel.Predicted.Bound);

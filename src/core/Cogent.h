@@ -78,9 +78,17 @@ struct CogentOptions {
   /// error findings — the emission is retried and, when retries run out,
   /// the rung demotes down the fallback chain exactly like a verifier
   /// rejection. Warn records findings in GenerationResult::LintFindings
-  /// without rejecting; Off skips the analysis. ElementSize and the
-  /// device's transaction size are synced by generate().
+  /// without rejecting; Off skips the analysis. ElementSize, the device's
+  /// transaction size and register budget are synced by generate().
   analysis::LintOptions Lint;
+  /// When true, ranking uses planOccupancyUnderPressure — the occupancy
+  /// term is computed from planRegisterPressure's refined per-thread
+  /// estimate instead of KernelConfig's flat one, demoting configurations
+  /// whose real register pressure caps residency. Off by default: the
+  /// refined estimates are always *reported* (GeneratedKernel::
+  /// PlanPressure/SourcePressure, metrics JSON), but only reorder the
+  /// ranking behind this knob (cogent_cli --pressure-ranking).
+  bool PressureAwareRanking = false;
 };
 
 /// Which rung of the guaranteed-fallback chain produced the result.
@@ -114,6 +122,11 @@ struct GeneratedKernel {
   TransactionCost Cost;
   gpu::OccupancyResult Occupancy;
   gpu::PerfEstimate Predicted;
+  /// planRegisterPressure's analytic per-thread estimate for this plan.
+  unsigned PlanPressure = 0;
+  /// KernelDataflow's liveness-derived per-thread estimate for the emitted
+  /// source (LintReport::SourcePressure; 0 when lint was off).
+  unsigned SourcePressure = 0;
 };
 
 /// Wall-clock breakdown of one generation run by pipeline phase,
@@ -179,6 +192,9 @@ struct GenerationResult {
   /// after enumeration (so ranking/verification saw tighter limits than
   /// the search did).
   bool DeviceMutated = false;
+  /// True when CogentOptions::PressureAwareRanking reordered this run's
+  /// ranking (echoed into the metrics JSON so reports are self-describing).
+  bool PressureRanking = false;
 
   bool empty() const { return Kernels.empty(); }
 

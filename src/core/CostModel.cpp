@@ -235,6 +235,38 @@ gpu::OccupancyResult cogent::core::planOccupancy(const KernelPlan &Plan,
   return gpu::computeOccupancy(Device, Block);
 }
 
+unsigned cogent::core::planRegisterPressure(const KernelPlan &Plan,
+                                            unsigned ElementSize) {
+  unsigned RegsPerElement = ElementSize / 4;
+  int64_t Tile = Plan.regX() * Plan.regY() + Plan.regX() + Plan.regY();
+  int64_t RankA = static_cast<int64_t>(Plan.sliceDims(Operand::A).size());
+  int64_t RankB = static_cast<int64_t>(Plan.sliceDims(Operand::B).size());
+  int64_t RankC = static_cast<int64_t>(Plan.storeDims().size());
+  // Index arithmetic the emitter actually materializes, all 64-bit (2
+  // registers each): the stride table, per-dimension tile counts and
+  // bases of the grid and step decodes, and the global coordinates of
+  // the wider slice load; 28 covers the remaining cursors and loop
+  // state exactly as in KernelConfig::registersPerThread.
+  int64_t Scalars = 28 + 2 * (RankA + RankB + RankC) +
+                    4 * static_cast<int64_t>(Plan.gridDims().size()) +
+                    4 * static_cast<int64_t>(Plan.stepDims().size()) +
+                    2 * std::max(RankA, RankB);
+  int64_t Total = Tile * RegsPerElement + Scalars;
+  return static_cast<unsigned>(std::min<int64_t>(Total, 512));
+}
+
+gpu::OccupancyResult
+cogent::core::planOccupancyUnderPressure(const KernelPlan &Plan,
+                                         const gpu::DeviceSpec &Device,
+                                         unsigned ElementSize) {
+  gpu::BlockResources Block;
+  Block.ThreadsPerBlock = static_cast<unsigned>(Plan.threadsPerBlock());
+  Block.SharedMemBytes =
+      static_cast<unsigned>(Plan.config().smemBytes(ElementSize));
+  Block.RegistersPerThread = planRegisterPressure(Plan, ElementSize);
+  return gpu::computeOccupancy(Device, Block);
+}
+
 gpu::KernelProfile
 cogent::core::makeKernelProfile(const KernelPlan &Plan,
                                 const gpu::DeviceSpec &Device,

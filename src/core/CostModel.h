@@ -66,6 +66,26 @@ gpu::OccupancyResult planOccupancy(const KernelPlan &Plan,
                                    const gpu::DeviceSpec &Device,
                                    unsigned ElementSize);
 
+/// Refined per-thread register-pressure estimate for \p Plan: the declared
+/// register tiles (r_C + r_A + r_B) plus an index-arithmetic term that
+/// mirrors what the emitter actually generates — global strides for each
+/// tensor dimension, the per-dimension tile counts and bases of the grid
+/// and step decodes, and a fixed base of cursors/temporaries. Where
+/// KernelConfig::registersPerThread prices all bookkeeping at a flat 28
+/// registers, this estimate scales with contraction order, which is what
+/// lets KernelDataflow's source-side liveness walk agree with it within
+/// analysis::PressureToleranceRegs (asserted across the TCCG suite by
+/// test_kernel_dataflow). Capped at 512 like the flat estimate.
+unsigned planRegisterPressure(const KernelPlan &Plan, unsigned ElementSize);
+
+/// planOccupancy with BlockResources::RegistersPerThread taken from
+/// planRegisterPressure instead of the flat estimate: the occupancy term
+/// used when CogentOptions::PressureAwareRanking is enabled, demoting
+/// configurations whose real pressure caps residency.
+gpu::OccupancyResult planOccupancyUnderPressure(const KernelPlan &Plan,
+                                                const gpu::DeviceSpec &Device,
+                                                unsigned ElementSize);
+
 /// Average shared-memory bank-conflict multiplier of the compute phase's
 /// register-staging loads (1.0 = conflict-free or pure broadcast). Lanes of
 /// a warp that read distinct shared-memory words falling in the same bank

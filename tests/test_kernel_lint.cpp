@@ -95,6 +95,18 @@ const std::vector<std::pair<MutationKind, LintPass>> &killMatrix() {
       {MutationKind::SkewDefineRegX, LintPass::ResourceDecl},
       {MutationKind::SkewDefineNthreads, LintPass::ResourceDecl},
       {MutationKind::ShrinkRegTile, LintPass::ResourceDecl},
+      {MutationKind::DuplicateFirstBarrier, LintPass::RedundantBarrier},
+      {MutationKind::DuplicateSecondBarrier, LintPass::RedundantBarrier},
+      {MutationKind::InjectStoreBarrier, LintPass::RedundantBarrier},
+      {MutationKind::InjectUnusedDecl, LintPass::DeadStore},
+      {MutationKind::InjectDeadStore, LintPass::DeadStore},
+      {MutationKind::ShadowDecodeResult, LintPass::DeadStore},
+      {MutationKind::InflateRegTileC, LintPass::RegisterPressure},
+      {MutationKind::InflateRegTileA, LintPass::RegisterPressure},
+      {MutationKind::InflateRegTileB, LintPass::RegisterPressure},
+      {MutationKind::RetargetComputeReadA, LintPass::SmemLifetime},
+      {MutationKind::RetargetComputeReadB, LintPass::SmemLifetime},
+      {MutationKind::RetargetStagingStore, LintPass::SmemLifetime},
   };
   return Matrix;
 }
@@ -144,7 +156,9 @@ TEST(KernelLint, MutationCorpusKillMatrix) {
   // broken transform cannot mask a pass that stopped firing.
   for (LintPass Pass :
        {LintPass::BarrierPlacement, LintPass::BankConflict,
-        LintPass::Coalescing, LintPass::BoundsCheck, LintPass::ResourceDecl})
+        LintPass::Coalescing, LintPass::BoundsCheck, LintPass::ResourceDecl,
+        LintPass::RegisterPressure, LintPass::RedundantBarrier,
+        LintPass::DeadStore, LintPass::SmemLifetime})
     EXPECT_GE(KillsPerPass[Pass], 3u) << analysis::lintPassName(Pass);
 }
 
@@ -293,13 +307,19 @@ TEST(KernelLint, NameTablesRoundTrip) {
 
   std::vector<std::string> Names;
   for (unsigned I = 0; I < analysis::NumMutationKinds; ++I) {
-    std::string Name =
-        analysis::mutationKindName(static_cast<MutationKind>(I));
+    MutationKind Kind = static_cast<MutationKind>(I);
+    std::string Name = analysis::mutationKindName(Kind);
     EXPECT_FALSE(Name.empty());
     for (const std::string &Seen : Names)
       EXPECT_NE(Seen, Name);
     Names.push_back(Name);
+    // The chaos codegen-mutate site draws kinds through this round-trip;
+    // a missing table entry would silently disable that mutation.
+    auto Back = analysis::mutationKindFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Kind);
   }
+  EXPECT_FALSE(analysis::mutationKindFromName("no-such-kind").has_value());
 }
 
 TEST(KernelLint, ExplainLintDescribesTheKernel) {
