@@ -53,13 +53,26 @@
 /// fields of the selected device — the supported way to point the pipeline
 /// at a constrained (or hostile) device from a script.
 ///
+/// Batch mode: --batch-file FILE routes requests through the resilient
+/// GenerationService (worker pool, sharded plan cache, deadline
+/// degradation, retry/circuit-breaker — docs/ARCHITECTURE.md §15) instead
+/// of a single inline generate(). Each non-comment line of FILE is one
+/// request: "<C-A-B spec> [uniform-extent]". --jobs N sets the worker
+/// count (default 4), --request-deadline-ms M gives every request a
+/// wall-clock budget (deadline-pressured requests degrade to cheaper
+/// fallback rungs rather than failing). One summary line per request goes
+/// to stderr; --quiet keeps only the final tally.
+///
 /// Exit codes: 0 = success — including runs where the plan verifier
 /// rejected candidates and the fallback chain rescued the result (a
 /// one-line "# notice:" marks those unless --quiet); 1 = the input was
 /// rejected with a diagnostic (printed to stderr as "error: <Code>:
 /// <context>: <message>", e.g. InvalidDeviceSpec for a nonsense device or
 /// VerificationFailed when no fallback rung could produce a verified
-/// kernel) or an output file could not be written, 2 = usage error.
+/// kernel) or an output file could not be written, 2 = usage error. Batch
+/// mode adds 3 = the batch ran to completion but at least one request
+/// failed with a typed per-request error (exit 1 is reserved there for
+/// infrastructure failures: an unreadable batch file).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -68,13 +81,17 @@
 #include "core/Cogent.h"
 #include "core/KernelPlan.h"
 #include "gpu/DeviceSpec.h"
+#include "service/GenerationService.h"
 #include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 using namespace cogent;
 
@@ -88,8 +105,103 @@ static void printUsage(const char *Argv0) {
                "[--chaos-seed N] [--chaos-sites LIST] "
                "[--lint=off|warn|strict] [--explain-lint] "
                "[--explain-dataflow] [--pressure-ranking] [--trace=FILE] "
-               "[--metrics=FILE] [--quiet]\n",
-               Argv0);
+               "[--metrics=FILE] [--quiet]\n"
+               "       %s --batch-file FILE [--jobs N] "
+               "[--request-deadline-ms M] [shared flags]\n",
+               Argv0, Argv0);
+}
+
+/// Runs --batch-file mode: every request goes through the
+/// GenerationService. Returns the process exit code (0 = every request
+/// produced a verified plan, 3 = completed with typed per-request errors,
+/// 1 = the batch file itself was unusable).
+static int runBatch(const std::string &BatchPath, const gpu::DeviceSpec &Device,
+                    const core::CogentOptions &Options, unsigned Jobs,
+                    double RequestDeadlineMs, bool Quiet) {
+  std::ifstream File(BatchPath);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot read batch file '%s'\n",
+                 BatchPath.c_str());
+    return 1;
+  }
+
+  std::vector<service::ServiceRequest> Requests;
+  std::vector<std::string> Labels;
+  std::string Line;
+  unsigned LineNo = 0;
+  size_t BadLines = 0;
+  while (std::getline(File, Line)) {
+    ++LineNo;
+    std::istringstream LS(Line);
+    std::string Spec;
+    if (!(LS >> Spec) || Spec[0] == '#')
+      continue;
+    int64_t Extent = 32;
+    std::string ExtentToken;
+    if (LS >> ExtentToken) {
+      Extent = std::atoll(ExtentToken.c_str());
+      if (Extent <= 0) {
+        // A malformed line is that request's typed failure, not the
+        // batch's: report it, count it, keep going.
+        std::fprintf(stderr, "error: line %u: %s: extent '%s' must be a "
+                             "positive integer\n",
+                     LineNo, errorCodeName(ErrorCode::InvalidSpec),
+                     ExtentToken.c_str());
+        ++BadLines;
+        continue;
+      }
+    }
+    service::ServiceRequest Request;
+    Request.Spec = Spec;
+    for (char C = 'a'; C <= 'z'; ++C)
+      if (Spec.find(C) != std::string::npos)
+        Request.Extents.emplace_back(C, Extent);
+    Request.DeadlineMs = RequestDeadlineMs;
+    Requests.push_back(std::move(Request));
+    Labels.push_back(Spec + " " + std::to_string(Extent));
+  }
+
+  service::ServiceOptions ServiceOpts;
+  ServiceOpts.NumWorkers = Jobs;
+  ServiceOpts.Generation = Options;
+  service::GenerationService Service(Device, ServiceOpts);
+  std::vector<ErrorOr<service::ServiceResult>> Results =
+      Service.processBatch(Requests);
+
+  size_t Failures = BadLines;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (Results[I]) {
+      const service::ServiceResult &R = *Results[I];
+      if (!Quiet)
+        std::fprintf(stderr,
+                     "# ok: %-28s fallback=%-12s cached=%d coalesced=%d "
+                     "degraded=%d attempts=%u %.1f ms\n",
+                     Labels[I].c_str(),
+                     core::fallbackLevelName(R.Fallback), R.CacheHit ? 1 : 0,
+                     R.Coalesced ? 1 : 0,
+                     (R.DeadlineDegraded || R.BreakerDegraded) ? 1 : 0,
+                     R.Attempts, R.TotalMs);
+    } else {
+      ++Failures;
+      std::fprintf(stderr, "error: %s: %s\n", Labels[I].c_str(),
+                   Results[I].error().renderWithCode().c_str());
+    }
+  }
+  service::ServiceStats Stats = Service.stats();
+  std::fprintf(stderr,
+               "# batch: %zu requests, %zu failed | %llu completed, "
+               "%llu shed, %llu retries, %llu coalesced, %llu cache hits, "
+               "%llu degraded\n",
+               Requests.size() + BadLines, Failures,
+               static_cast<unsigned long long>(Stats.Completed),
+               static_cast<unsigned long long>(Stats.ShedQueueFull +
+                                               Stats.ShedOverloaded +
+                                               Stats.ShedExpired),
+               static_cast<unsigned long long>(Stats.Retries),
+               static_cast<unsigned long long>(Stats.Coalesced),
+               static_cast<unsigned long long>(Stats.CacheHits),
+               static_cast<unsigned long long>(Stats.DeadlineDegraded));
+  return Failures == 0 ? 0 : 3;
 }
 
 /// Matches "--flag=VALUE" or the two-argument "--flag VALUE" spelling;
@@ -126,6 +238,9 @@ int main(int Argc, char **Argv) {
   bool Quiet = false;
   std::string TracePath;
   std::string MetricsPath;
+  std::string BatchPath;
+  unsigned Jobs = 4;
+  double RequestDeadlineMs = 0.0;
 
   // Positional arguments (the spec, then the extent) may appear anywhere
   // relative to the flags.
@@ -136,8 +251,18 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (fileArg("--trace", Argc, Argv, &I, &TracePath) ||
-               fileArg("--metrics", Argc, Argv, &I, &MetricsPath)) {
+               fileArg("--metrics", Argc, Argv, &I, &MetricsPath) ||
+               fileArg("--batch-file", Argc, Argv, &I, &BatchPath)) {
       // Path captured by fileArg.
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      long long N = std::atoll(Argv[++I]);
+      if (N < 0) {
+        std::fprintf(stderr, "error: --jobs must be non-negative\n");
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--request-deadline-ms" && I + 1 < Argc) {
+      RequestDeadlineMs = std::atof(Argv[++I]);
     } else if (Arg == "--opencl") {
       UseOpenCl = true;
     } else if (Arg == "--double-buffer") {
@@ -212,6 +337,9 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  if (!BatchPath.empty())
+    return runBatch(BatchPath, Device, Options, Jobs, RequestDeadlineMs,
+                    Quiet);
   if (Spec.empty()) {
     printUsage(Argv[0]);
     return 2;

@@ -152,7 +152,10 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
   Options.Enumeration.DeadlineMs = Options.Budget.DeadlineMs;
   GenerationResult Result;
   std::vector<KernelConfig> Configs;
-  {
+  // Degraded entry (CogentOptions::StartRung): a caller out of deadline
+  // budget skips the expensive search and starts the chain at a cheap
+  // rung directly — enumeration never runs, so its cost is exactly zero.
+  if (Options.StartRung == FallbackLevel::None) {
     support::TraceSpan Span("cogent.enumerate");
     try {
       Enumerator Enum(TC, Device, Options.Enumeration);
@@ -168,6 +171,10 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
     }
     Span.arg("survivors", std::to_string(Configs.size()));
     Result.Phases.EnumerateMs = Span.elapsedMs();
+  } else {
+    support::traceInstant(
+        "cogent.degraded-start",
+        {{"rung", fallbackLevelName(Options.StartRung)}});
   }
 
   // Chaos site: the working device limits shrink *after* enumeration
@@ -368,7 +375,7 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
       ++NumVerifierDemotions;
   }
 
-  if (!Done) {
+  if (!Done && Options.StartRung != FallbackLevel::TtgtBaseline) {
     support::TraceSpan Span("cogent.fallback");
     KernelConfig Minimal;
     if (buildMinimalConfig(TC, Run, Options.ElementSize, &Minimal)) {

@@ -35,6 +35,30 @@
 namespace cogent {
 namespace core {
 
+/// Which rung of the guaranteed-fallback chain produced the result.
+enum class FallbackLevel {
+  /// The normal enumerate -> rank -> emit pipeline.
+  None,
+  /// Enumeration (even relaxed) found nothing; a minimal thread-block
+  /// configuration with 1x1 register tiles was constructed directly.
+  MinimalTile,
+  /// Even the minimal configuration violates the device's limits; the
+  /// result is the TTGT evaluation plan: a kernel for the matricized GEMM
+  /// (spec "ab-ac-cb" over fused extents M/N/K), to be executed via
+  /// transpose + library-GEMM the way TAL_SH would.
+  TtgtBaseline,
+};
+
+/// Number of FallbackLevel enumerators; keep in sync when extending the
+/// enum (the name-table round-trip test walks [0, NumFallbackLevels)).
+inline constexpr unsigned NumFallbackLevels = 3;
+
+/// "none", "minimal-tile" or "ttgt".
+const char *fallbackLevelName(FallbackLevel Level);
+
+/// Inverse of fallbackLevelName; nullopt for unknown strings.
+std::optional<FallbackLevel> fallbackLevelFromName(const std::string &Name);
+
 /// Caller-imposed resource limits for one generation run. All zero (the
 /// default) means unlimited. Budgets degrade gracefully: hitting one never
 /// fails the run, it truncates the search/emission and flags the result
@@ -81,6 +105,15 @@ struct CogentOptions {
   /// without rejecting; Off skips the analysis. ElementSize, the device's
   /// transaction size and register budget are synced by generate().
   analysis::LintOptions Lint;
+  /// Lowest fallback rung the run may *start* at — the graceful-degradation
+  /// seam for deadline-pressured callers (service::GenerationService).
+  /// None (the default) runs the full enumerate -> rank -> emit pipeline.
+  /// MinimalTile skips enumeration entirely and begins at the directly
+  /// constructed minimal-tile configuration; TtgtBaseline additionally
+  /// skips the minimal rung and emits the matricized-GEMM plan straight
+  /// away. Each is orders of magnitude cheaper than a full search, at the
+  /// cost of plan quality — a degraded answer instead of a deadline miss.
+  FallbackLevel StartRung = FallbackLevel::None;
   /// When true, ranking uses planOccupancyUnderPressure — the occupancy
   /// term is computed from planRegisterPressure's refined per-thread
   /// estimate instead of KernelConfig's flat one, demoting configurations
@@ -90,30 +123,6 @@ struct CogentOptions {
   /// ranking behind this knob (cogent_cli --pressure-ranking).
   bool PressureAwareRanking = false;
 };
-
-/// Which rung of the guaranteed-fallback chain produced the result.
-enum class FallbackLevel {
-  /// The normal enumerate -> rank -> emit pipeline.
-  None,
-  /// Enumeration (even relaxed) found nothing; a minimal thread-block
-  /// configuration with 1x1 register tiles was constructed directly.
-  MinimalTile,
-  /// Even the minimal configuration violates the device's limits; the
-  /// result is the TTGT evaluation plan: a kernel for the matricized GEMM
-  /// (spec "ab-ac-cb" over fused extents M/N/K), to be executed via
-  /// transpose + library-GEMM the way TAL_SH would.
-  TtgtBaseline,
-};
-
-/// Number of FallbackLevel enumerators; keep in sync when extending the
-/// enum (the name-table round-trip test walks [0, NumFallbackLevels)).
-inline constexpr unsigned NumFallbackLevels = 3;
-
-/// "none", "minimal-tile" or "ttgt".
-const char *fallbackLevelName(FallbackLevel Level);
-
-/// Inverse of fallbackLevelName; nullopt for unknown strings.
-std::optional<FallbackLevel> fallbackLevelFromName(const std::string &Name);
 
 /// One materialized kernel: its mapping, emitted source and model outputs.
 struct GeneratedKernel {

@@ -28,9 +28,48 @@ const char *cogent::errorCodeName(ErrorCode Code) {
     return "VerificationFailed";
   case ErrorCode::CorruptCache:
     return "CorruptCache";
+  case ErrorCode::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case ErrorCode::Overloaded:
+    return "Overloaded";
+  case ErrorCode::QueueFull:
+    return "QueueFull";
+  case ErrorCode::ServiceStopped:
+    return "ServiceStopped";
   }
   assert(false && "unknown error code");
   return "?";
+}
+
+std::optional<ErrorCode> cogent::errorCodeFromName(const std::string &Name) {
+  for (unsigned I = 0; I < NumErrorCodes; ++I) {
+    ErrorCode Code = static_cast<ErrorCode>(I);
+    if (Name == errorCodeName(Code))
+      return Code;
+  }
+  return std::nullopt;
+}
+
+bool cogent::isTransient(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Overloaded:
+  case ErrorCode::QueueFull:
+  case ErrorCode::CorruptCache:
+  case ErrorCode::VerificationFailed:
+    return true;
+  case ErrorCode::Unknown:
+  case ErrorCode::InvalidSpec:
+  case ErrorCode::ExtentOverflow:
+  case ErrorCode::ResourceExhausted:
+  case ErrorCode::BudgetExceeded:
+  case ErrorCode::NoValidConfig:
+  case ErrorCode::InvalidDeviceSpec:
+  case ErrorCode::DeadlineExceeded:
+  case ErrorCode::ServiceStopped:
+    return false;
+  }
+  assert(false && "unknown error code");
+  return false;
 }
 
 Error Error::withContext(std::string Frame) && {

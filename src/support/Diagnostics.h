@@ -51,14 +51,42 @@ enum class ErrorCode {
   /// An on-disk repository cache entry was corrupt, truncated or written
   /// by an incompatible version (always a cache miss, never silent reuse).
   CorruptCache,
+  /// A request's wall-clock deadline was already spent before any work
+  /// could begin (deadlines that expire mid-run degrade to cheaper
+  /// fallback rungs instead — see service::GenerationService).
+  DeadlineExceeded,
+  /// The service's admission control shed the request: total outstanding
+  /// work exceeds the configured limit. Retry after backoff.
+  Overloaded,
+  /// The service's bounded intake queue is at capacity (load shedding at
+  /// the enqueue boundary, never a blocking producer). Retry after
+  /// backoff.
+  QueueFull,
+  /// The service stopped while the request was queued or in flight; the
+  /// request was abandoned, not silently dropped.
+  ServiceStopped,
 };
 
 /// Number of ErrorCode enumerators; keep in sync when extending the enum
 /// (the name-table round-trip test walks [0, NumErrorCodes)).
-inline constexpr unsigned NumErrorCodes = 9;
+inline constexpr unsigned NumErrorCodes = 13;
 
 /// Stable identifier string, e.g. "InvalidSpec".
 const char *errorCodeName(ErrorCode Code);
+
+/// Inverse of errorCodeName; nullopt for unknown strings.
+std::optional<ErrorCode> errorCodeFromName(const std::string &Name);
+
+/// Transient/permanent classification, the retry policy's oracle: true for
+/// failures where an identical retry has a real chance of succeeding —
+/// load shedding (Overloaded, QueueFull), cache corruption absorbed as a
+/// miss (CorruptCache), and verification failures (VerificationFailed,
+/// which injected faults and mid-run device mutations can cause and a
+/// re-run can rescue). Everything input-shaped (InvalidSpec,
+/// ExtentOverflow, InvalidDeviceSpec, ...), budget-shaped
+/// (BudgetExceeded, DeadlineExceeded) or terminal (ServiceStopped) is
+/// permanent: retrying cannot change the outcome.
+bool isTransient(ErrorCode Code);
 
 /// Describes a recoverable failure: a category code, a primary message and
 /// an optional chain of context frames added as the error propagates out

@@ -177,23 +177,28 @@ uint64_t FaultInjector::firedTotal() const {
 //===----------------------------------------------------------------------===//
 
 namespace {
-std::atomic<FaultInjector *> ActiveInjector{nullptr};
+// Per-thread, not process-wide: every run installs its own injector for its
+// own duration (Cogent::generate), and concurrent runs on a worker pool
+// must neither see each other's injectors nor race the install/restore
+// pair. A process-wide slot would let thread B keep reading thread A's
+// injector after A's run (and injector) ended — a use-after-free the
+// service layer's chaos lane would hit constantly.
+thread_local FaultInjector *ActiveInjector = nullptr;
 } // namespace
 
-FaultInjector *support::activeFaultInjector() {
-  return ActiveInjector.load(std::memory_order_acquire);
-}
+FaultInjector *support::activeFaultInjector() { return ActiveInjector; }
 
 ScopedChaosActivation::ScopedChaosActivation(FaultInjector *Injector) {
   if (!Injector)
     return;
-  Previous = ActiveInjector.exchange(Injector, std::memory_order_acq_rel);
+  Previous = ActiveInjector;
+  ActiveInjector = Injector;
   Installed = true;
 }
 
 ScopedChaosActivation::~ScopedChaosActivation() {
   if (Installed)
-    ActiveInjector.store(Previous, std::memory_order_release);
+    ActiveInjector = Previous;
 }
 
 #ifdef COGENT_CHAOS_ENABLED

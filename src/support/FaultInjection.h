@@ -151,12 +151,16 @@ private:
   std::array<std::atomic<uint64_t>, NumChaosSites> Fired;
 };
 
-/// The currently installed injector, or nullptr when chaos is off.
+/// The injector installed on the *calling thread*, or nullptr when chaos
+/// is off for this thread. Activation is thread-local (like per-run
+/// counter scopes): a run's injector only affects work done on the thread
+/// that installed it, so concurrent runs on a worker pool get independent,
+/// race-free fault streams.
 FaultInjector *activeFaultInjector();
 
-/// Installs \p Injector process-wide for this object's lifetime, restoring
-/// the previous injector on destruction. A null \p Injector is a no-op so
-/// callers can pass through unconditionally.
+/// Installs \p Injector on the calling thread for this object's lifetime,
+/// restoring the previous injector on destruction. A null \p Injector is a
+/// no-op so callers can pass through unconditionally.
 class ScopedChaosActivation {
 public:
   explicit ScopedChaosActivation(FaultInjector *Injector);

@@ -12,13 +12,16 @@
 ///      chain, which print a one-line "# notice:" unless --quiet;
 ///   1  typed rejection (InvalidDeviceSpec, VerificationFailed, parse
 ///      errors) rendered as "error: <Code>: ...";
-///   2  usage errors.
+///   2  usage errors;
+///   3  batch mode (--batch-file) completed but at least one request
+///      failed with a typed per-request error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <sys/wait.h>
 
@@ -73,6 +76,75 @@ TEST(CliExitCodes, UsageErrorExitsTwo) {
   EXPECT_EQ(runCli("ab-ac-cb 24 --no-such-flag").ExitCode, 2);
   EXPECT_EQ(runCli("").ExitCode, 2);
   EXPECT_EQ(runCli("ab-ac-cb 24 --chaos-sites no-such-site").ExitCode, 2);
+}
+
+/// Writes \p Contents to a scratch batch file and returns its path.
+std::string writeBatchFile(const std::string &Name,
+                           const std::string &Contents) {
+  std::string Path =
+      ::testing::TempDir() + "cogent_cli_batch_" + Name + ".txt";
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Contents;
+  return Path;
+}
+
+TEST(CliExitCodes, BatchAllOkExitsZero) {
+  std::string Path = writeBatchFile("ok", "# warm then duplicate\n"
+                                          "ab-ac-cb 24\n"
+                                          "ab-ac-cb 24\n"
+                                          "\n"
+                                          "abc-abd-dc 12\n");
+  CliRun Run = runCli("--batch-file " + Path + " --jobs 2");
+  EXPECT_EQ(Run.ExitCode, 0) << Run.Output;
+  EXPECT_NE(Run.Output.find("# batch:"), std::string::npos) << Run.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(CliExitCodes, BatchWithTypedPerRequestErrorExitsThree) {
+  // A malformed spec fails its own request with a typed error but must
+  // not sink the batch: the good line still completes and the summary
+  // exit code is 3, distinguishable from infrastructure failure (1).
+  std::string Path = writeBatchFile("mixed", "ab-ac-cb 24\n"
+                                             "not-a-valid-spec!! 24\n");
+  CliRun Run = runCli("--batch-file " + Path);
+  EXPECT_EQ(Run.ExitCode, 3) << Run.Output;
+  EXPECT_NE(Run.Output.find("# ok:"), std::string::npos) << Run.Output;
+  EXPECT_NE(Run.Output.find("error:"), std::string::npos) << Run.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(CliExitCodes, BatchBadExtentLineExitsThree) {
+  std::string Path = writeBatchFile("extent", "ab-ac-cb 0\n"
+                                              "ab-ac-cb 16\n");
+  CliRun Run = runCli("--batch-file " + Path + " --quiet");
+  EXPECT_EQ(Run.ExitCode, 3) << Run.Output;
+  EXPECT_NE(Run.Output.find("error: line 1"), std::string::npos)
+      << Run.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(CliExitCodes, BatchUnreadableFileExitsOne) {
+  CliRun Run = runCli("--batch-file /no/such/dir/batch.txt");
+  EXPECT_EQ(Run.ExitCode, 1) << Run.Output;
+  EXPECT_NE(Run.Output.find("error:"), std::string::npos) << Run.Output;
+}
+
+TEST(CliExitCodes, BatchUsageErrorsExitTwo) {
+  std::string Path = writeBatchFile("usage", "ab-ac-cb 16\n");
+  EXPECT_EQ(runCli("--batch-file " + Path + " --jobs -1").ExitCode, 2);
+  EXPECT_EQ(runCli("--batch-file").ExitCode, 2); // missing operand
+  std::remove(Path.c_str());
+}
+
+TEST(CliExitCodes, BatchRequestDeadlineStillCompletesBatch) {
+  // A microscopic per-request deadline forces the degraded rungs, never
+  // a hang or an unexplained failure: the batch still exits 0.
+  std::string Path = writeBatchFile("deadline", "ab-ac-cb 24\n"
+                                                "abc-abd-dc 12\n");
+  CliRun Run =
+      runCli("--batch-file " + Path + " --request-deadline-ms 0.01");
+  EXPECT_EQ(Run.ExitCode, 0) << Run.Output;
+  std::remove(Path.c_str());
 }
 
 #ifdef COGENT_CHAOS_ENABLED

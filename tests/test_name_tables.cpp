@@ -107,6 +107,44 @@ TEST(NameTables, ParseChaosSitesAcceptsListsRejectsUnknowns) {
   EXPECT_FALSE(support::parseChaosSites("").has_value());
 }
 
+TEST(NameTables, ErrorCodeRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < NumErrorCodes; ++I) {
+    auto Code = static_cast<ErrorCode>(I);
+    const char *Name = errorCodeName(Code);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "code " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate error code name '" << Name << "'";
+    auto Back = errorCodeFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Code);
+  }
+  EXPECT_FALSE(errorCodeFromName("").has_value());
+  EXPECT_FALSE(errorCodeFromName("?").has_value());
+  EXPECT_FALSE(errorCodeFromName("invalidspec").has_value());
+  EXPECT_FALSE(errorCodeFromName("QueueFull ").has_value());
+}
+
+TEST(NameTables, ErrorCodeTransienceIsTotalAndPinned) {
+  // isTransient is the retry policy's oracle: pin the exact partition so
+  // a new enumerator (or an accidental reclassification) fails here
+  // rather than silently changing what the service retries.
+  const std::set<ErrorCode> Transient = {
+      ErrorCode::Overloaded, ErrorCode::QueueFull, ErrorCode::CorruptCache,
+      ErrorCode::VerificationFailed};
+  for (unsigned I = 0; I < NumErrorCodes; ++I) {
+    auto Code = static_cast<ErrorCode>(I);
+    EXPECT_EQ(isTransient(Code), Transient.count(Code) == 1)
+        << errorCodeName(Code);
+  }
+  // Spot-check the load-bearing permanents: retrying these cannot help.
+  EXPECT_FALSE(isTransient(ErrorCode::InvalidSpec));
+  EXPECT_FALSE(isTransient(ErrorCode::DeadlineExceeded));
+  EXPECT_FALSE(isTransient(ErrorCode::BudgetExceeded));
+  EXPECT_FALSE(isTransient(ErrorCode::ServiceStopped));
+}
+
 TEST(NameTables, PerfBoundTableIsClosedAndDistinct) {
   const char *const *Names = gpu::perfBoundNames();
   ASSERT_NE(Names, nullptr);
