@@ -63,6 +63,13 @@
 /// fallback rungs rather than failing). One summary line per request goes
 /// to stderr; --quiet keeps only the final tally.
 ///
+/// Batch-mode observability: --telemetry-json FILE writes the service's
+/// telemetry snapshot (counters, gauges, latency/queue-wait histograms
+/// with p50/p90/p99/p999 — service/Telemetry.h) as one JSON object after
+/// the batch completes; --stats-interval-ms N prints a "# stats: {...}"
+/// one-line JSON progress dump to stderr every N ms while the batch runs.
+/// Both flags require --batch-file (usage error otherwise).
+///
 /// Exit codes: 0 = success — including runs where the plan verifier
 /// rejected candidates and the fallback chain rescued the result (a
 /// one-line "# notice:" marks those unless --quiet); 1 = the input was
@@ -82,8 +89,11 @@
 #include "core/KernelPlan.h"
 #include "gpu/DeviceSpec.h"
 #include "service/GenerationService.h"
+#include "support/JsonWriter.h"
 #include "support/Trace.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,6 +101,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cogent;
@@ -107,17 +118,38 @@ static void printUsage(const char *Argv0) {
                "[--explain-dataflow] [--pressure-ranking] [--trace=FILE] "
                "[--metrics=FILE] [--quiet]\n"
                "       %s --batch-file FILE [--jobs N] "
-               "[--request-deadline-ms M] [shared flags]\n",
+               "[--request-deadline-ms M] [--telemetry-json FILE] "
+               "[--stats-interval-ms N] [shared flags]\n",
                Argv0, Argv0);
+}
+
+/// Writes \p Content to \p Path; false on any I/O failure.
+static bool writeFileOrComplain(const std::string &Path,
+                                const std::string &Content,
+                                const char *What) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  bool Ok = File != nullptr;
+  if (Ok) {
+    Ok = std::fwrite(Content.data(), 1, Content.size(), File) ==
+         Content.size();
+    Ok &= std::fclose(File) == 0;
+  }
+  if (!Ok)
+    std::fprintf(stderr, "error: cannot write %s file '%s'\n", What,
+                 Path.c_str());
+  return Ok;
 }
 
 /// Runs --batch-file mode: every request goes through the
 /// GenerationService. Returns the process exit code (0 = every request
 /// produced a verified plan, 3 = completed with typed per-request errors,
-/// 1 = the batch file itself was unusable).
+/// 1 = the batch file itself was unusable or an output file could not be
+/// written).
 static int runBatch(const std::string &BatchPath, const gpu::DeviceSpec &Device,
                     const core::CogentOptions &Options, unsigned Jobs,
-                    double RequestDeadlineMs, bool Quiet) {
+                    double RequestDeadlineMs, bool Quiet,
+                    const std::string &TelemetryJsonPath,
+                    double StatsIntervalMs) {
   std::ifstream File(BatchPath);
   if (!File) {
     std::fprintf(stderr, "error: cannot read batch file '%s'\n",
@@ -165,8 +197,42 @@ static int runBatch(const std::string &BatchPath, const gpu::DeviceSpec &Device,
   ServiceOpts.NumWorkers = Jobs;
   ServiceOpts.Generation = Options;
   service::GenerationService Service(Device, ServiceOpts);
+
+  // Periodic "# stats:" JSON lines while the batch runs. The ticker reads
+  // only thread-safe snapshots; it is joined before the summary prints so
+  // a dump never interleaves with the final tally.
+  std::atomic<bool> TickerStop{false};
+  std::thread Ticker;
+  if (StatsIntervalMs > 0.0) {
+    Ticker = std::thread([&] {
+      while (!TickerStop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(StatsIntervalMs));
+        service::ServiceStats S = Service.stats();
+        support::JsonWriter W;
+        W.beginObject();
+        W.member("submitted", S.Submitted);
+        W.member("completed", S.Completed);
+        W.member("failed", S.Failed);
+        W.member("shed",
+                 S.ShedQueueFull + S.ShedOverloaded + S.ShedExpired);
+        W.member("retries", S.Retries);
+        W.member("coalesced", S.Coalesced);
+        W.member("cache_hits", S.CacheHits);
+        W.member("events", Service.telemetry().eventsRecorded());
+        W.endObject();
+        std::fprintf(stderr, "# stats: %s\n", W.take().c_str());
+      }
+    });
+  }
+
   std::vector<ErrorOr<service::ServiceResult>> Results =
       Service.processBatch(Requests);
+
+  if (Ticker.joinable()) {
+    TickerStop.store(true, std::memory_order_relaxed);
+    Ticker.join();
+  }
 
   size_t Failures = BadLines;
   for (size_t I = 0; I < Results.size(); ++I) {
@@ -201,6 +267,10 @@ static int runBatch(const std::string &BatchPath, const gpu::DeviceSpec &Device,
                static_cast<unsigned long long>(Stats.Coalesced),
                static_cast<unsigned long long>(Stats.CacheHits),
                static_cast<unsigned long long>(Stats.DeadlineDegraded));
+  if (!TelemetryJsonPath.empty() &&
+      !writeFileOrComplain(TelemetryJsonPath, Service.telemetrySnapshot(),
+                           "telemetry"))
+    return 1;
   return Failures == 0 ? 0 : 3;
 }
 
@@ -239,6 +309,9 @@ int main(int Argc, char **Argv) {
   std::string TracePath;
   std::string MetricsPath;
   std::string BatchPath;
+  std::string TelemetryJsonPath;
+  double StatsIntervalMs = 0.0;
+  bool SawStatsInterval = false;
   unsigned Jobs = 4;
   double RequestDeadlineMs = 0.0;
 
@@ -252,8 +325,19 @@ int main(int Argc, char **Argv) {
       Quiet = true;
     } else if (fileArg("--trace", Argc, Argv, &I, &TracePath) ||
                fileArg("--metrics", Argc, Argv, &I, &MetricsPath) ||
-               fileArg("--batch-file", Argc, Argv, &I, &BatchPath)) {
+               fileArg("--batch-file", Argc, Argv, &I, &BatchPath) ||
+               fileArg("--telemetry-json", Argc, Argv, &I,
+                       &TelemetryJsonPath)) {
       // Path captured by fileArg.
+    } else if (std::string IntervalArg;
+               fileArg("--stats-interval-ms", Argc, Argv, &I, &IntervalArg)) {
+      StatsIntervalMs = std::atof(IntervalArg.c_str());
+      SawStatsInterval = true;
+      if (StatsIntervalMs <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --stats-interval-ms must be positive\n");
+        return 2;
+      }
     } else if (Arg == "--jobs" && I + 1 < Argc) {
       long long N = std::atoll(Argv[++I]);
       if (N < 0) {
@@ -337,9 +421,16 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  if (BatchPath.empty() && (!TelemetryJsonPath.empty() || SawStatsInterval)) {
+    // Both flags observe the GenerationService, which only batch mode
+    // drives; outside it they indicate a misassembled command line.
+    std::fprintf(stderr, "error: --telemetry-json and --stats-interval-ms "
+                         "require --batch-file\n");
+    return 2;
+  }
   if (!BatchPath.empty())
     return runBatch(BatchPath, Device, Options, Jobs, RequestDeadlineMs,
-                    Quiet);
+                    Quiet, TelemetryJsonPath, StatsIntervalMs);
   if (Spec.empty()) {
     printUsage(Argv[0]);
     return 2;

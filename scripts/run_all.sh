@@ -95,6 +95,20 @@ build/examples/cogent_cli "ab-ac-cb" 512 --quiet \
   --trace=smoke_artifacts/trace.json --metrics=smoke_artifacts/metrics.json
 "$JSON_LINT" smoke_artifacts/trace.json smoke_artifacts/metrics.json
 
+# Telemetry smoke: a batch run must produce a well-formed registry
+# snapshot (--telemetry-json) — counters, gauges, and the latency
+# histograms with their quantile summaries — validated with json_lint
+# like every other artifact.
+cat > smoke_artifacts/telemetry_batch.txt <<'EOF'
+ab-ac-cb 24
+abc-abd-dc 12
+ab-ac-cb 24
+EOF
+build/examples/cogent_cli --batch-file smoke_artifacts/telemetry_batch.txt \
+  --jobs 2 --quiet --telemetry-json smoke_artifacts/telemetry.json
+"$JSON_LINT" smoke_artifacts/telemetry.json
+echo "telemetry smoke: snapshot validated"
+
 # Each bench harness writes its own <name>.json next to the text output;
 # run them from a scratch directory, validate every artifact, then
 # aggregate into one bench_output.json keyed by harness name.
@@ -179,6 +193,33 @@ if compgen -G "bench_artifacts/*.json" >/dev/null; then
   } > bench_output.json
   "$JSON_LINT" bench_output.json
   echo "aggregated $(ls bench_artifacts/*.json | wc -l) reports into bench_output.json"
+fi
+
+# Perf-regression gate: diff this run's bench_service report against the
+# checked-in BENCH_service.json BEFORE the refresh below overwrites it.
+# Schema validation always runs (structure + conservation law on both
+# reports); the throughput/latency comparison only runs on machines with
+# enough cores for the headline numbers to be meaningful — shared/small
+# CI boxes would flag phantom regressions. Tolerance is deliberately
+# loose (run-to-run variance on a simulator-backed service is real) and
+# overridable: COGENT_PERF_TOLERANCE is the allowed relative slip
+# (default 0.5 = 50%).
+BENCH_COMPARE=build/tools/bench_compare
+PERF_TOLERANCE="${COGENT_PERF_TOLERANCE:-0.5}"
+if [ -x "$BENCH_COMPARE" ] && [ -f BENCH_service.json ]; then
+  "$BENCH_COMPARE" --schema BENCH_service.json
+  if [ -f bench_artifacts/bench_service.json ]; then
+    "$BENCH_COMPARE" --schema bench_artifacts/bench_service.json
+    cores=$(nproc 2>/dev/null || echo 0)
+    if [ "$cores" -ge 8 ]; then
+      "$BENCH_COMPARE" --fresh bench_artifacts/bench_service.json \
+        --baseline BENCH_service.json --tolerance "$PERF_TOLERANCE" \
+        --throughput-floor 1000
+      echo "perf gate: fresh report within ${PERF_TOLERANCE} of baseline"
+    else
+      echo "perf gate: comparison skipped ($cores cores < 8; schema-only)"
+    fi
+  fi
 fi
 
 # The service throughput report is a checked-in artifact: refresh the

@@ -8,6 +8,7 @@
 
 #include "support/Counters.h"
 #include "support/FaultInjection.h"
+#include "support/JsonWriter.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -65,10 +66,12 @@ static uint64_t fnv1a(const std::string &Data) {
 namespace cogent {
 namespace service {
 
-/// One admitted request's whole lifecycle: the request, its absolute
-/// deadline, and a one-shot promise (Outcome) the worker pool fulfills.
+/// One admitted request's whole lifecycle: the request, its telemetry id,
+/// its absolute deadline, and a one-shot promise (Outcome) the worker pool
+/// fulfills.
 struct PendingRequest {
   ServiceRequest Request;
+  uint64_t RequestId = 0;
   Clock::time_point SubmittedAt;
   bool HasDeadline = false;
   Clock::time_point Deadline;
@@ -84,7 +87,8 @@ struct PendingRequest {
 GenerationService::GenerationService(gpu::DeviceSpec Device,
                                      ServiceOptions Opts)
     : Options(std::move(Opts)), Generator(std::move(Device)),
-      Repo(Generator, Options.NumShards, Options.Generation) {
+      Repo(Generator, Options.NumShards, Options.Generation),
+      Telem(Options.Telemetry) {
   Paused = Options.StartPaused;
   Workers.reserve(Options.NumWorkers);
   for (unsigned I = 0; I < Options.NumWorkers; ++I)
@@ -129,6 +133,8 @@ void GenerationService::stop() {
 ErrorOr<std::shared_ptr<PendingRequest>>
 GenerationService::submit(ServiceRequest Request) {
   Tallies.Submitted.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t RequestId = Telem.beginRequest();
+  Telem.recordEvent(RequestId, RequestEventKind::Submitted, Request.Spec);
 
   double DeadlineMs = Request.DeadlineMs != 0.0 ? Request.DeadlineMs
                                                 : Options.DefaultDeadlineMs;
@@ -137,12 +143,14 @@ GenerationService::submit(ServiceRequest Request) {
     // an admission error rather than a degraded answer.
     Tallies.ShedExpired.fetch_add(1, std::memory_order_relaxed);
     ++NumServiceShed;
+    Telem.recordEvent(RequestId, RequestEventKind::Shed, "expired-deadline");
     return Error(ErrorCode::DeadlineExceeded,
                  "request deadline expired before submission");
   }
 
   auto Job = std::make_shared<PendingRequest>();
   Job->Request = std::move(Request);
+  Job->RequestId = RequestId;
   Job->SubmittedAt = Clock::now();
   if (DeadlineMs > 0.0) {
     Job->HasDeadline = true;
@@ -158,6 +166,7 @@ GenerationService::submit(ServiceRequest Request) {
   if (Outstanding.load(std::memory_order_relaxed) >= Options.MaxOutstanding) {
     Tallies.ShedOverloaded.fetch_add(1, std::memory_order_relaxed);
     ++NumServiceShed;
+    Telem.recordEvent(RequestId, RequestEventKind::Shed, "overloaded");
     return Error(ErrorCode::Overloaded,
                  "service outstanding-work limit reached (" +
                      std::to_string(Options.MaxOutstanding) +
@@ -165,12 +174,18 @@ GenerationService::submit(ServiceRequest Request) {
   }
   {
     std::lock_guard<std::mutex> Guard(QueueLock);
-    if (Stopping)
+    if (Stopping) {
+      // Not a ServiceStats shed bucket (submissions after stop() are a
+      // caller bug, not load), but the timeline law still holds: every
+      // request id ends in exactly one terminal event.
+      Telem.recordEvent(RequestId, RequestEventKind::Shed, "service-stopped");
       return Error(ErrorCode::ServiceStopped,
                    "service is stopped; request rejected at submission");
+    }
     if (Queue.size() >= Options.QueueCapacity) {
       Tallies.ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
       ++NumServiceShed;
+      Telem.recordEvent(RequestId, RequestEventKind::Shed, "queue-full");
       return Error(ErrorCode::QueueFull,
                    "service intake queue is full (" +
                        std::to_string(Options.QueueCapacity) +
@@ -238,13 +253,20 @@ void GenerationService::fulfill(const std::shared_ptr<PendingRequest> &Job,
                                 ErrorOr<ServiceResult> Outcome) {
   double TotalMs = msBetween(Job->SubmittedAt, Clock::now());
   if (Outcome) {
+    Outcome->RequestId = Job->RequestId;
     Outcome->TotalMs = TotalMs;
     Tallies.Completed.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> Guard(LatencyLock);
-    if (LatenciesMs.size() < Options.LatencyCapacity)
-      LatenciesMs.push_back(TotalMs);
+    Telem.registry()
+        .histogram("service.latency-ms",
+                   "submit-to-completion wall clock of completed requests",
+                   Options.Telemetry.HistogramShards)
+        .record(TotalMs);
+    Telem.recordEvent(Job->RequestId, RequestEventKind::Completed,
+                      core::fallbackLevelName(Outcome->Fallback));
   } else {
     Tallies.Failed.fetch_add(1, std::memory_order_relaxed);
+    Telem.recordEvent(Job->RequestId, RequestEventKind::Failed,
+                      errorCodeName(Outcome.error().code()));
   }
   Outstanding.fetch_sub(1, std::memory_order_relaxed);
   {
@@ -257,6 +279,13 @@ void GenerationService::fulfill(const std::shared_ptr<PendingRequest> &Job,
 void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
   const ServiceRequest &Request = Job->Request;
   double QueueMs = msBetween(Job->SubmittedAt, Clock::now());
+  Telem.registry()
+      .histogram("service.queue-wait-ms",
+                 "time requests spent queued before a worker picked them up",
+                 Options.Telemetry.HistogramShards)
+      .record(QueueMs);
+  Telem.recordEvent(Job->RequestId, RequestEventKind::Dequeued,
+                    std::to_string(QueueMs));
 
   const std::string Signature = core::contractionSignature(
       Request.Spec, Request.Extents, Options.Generation.ElementSize);
@@ -271,6 +300,8 @@ void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
       It->second.Waiters.push_back(Job);
       Tallies.Coalesced.fetch_add(1, std::memory_order_relaxed);
       ++NumServiceCoalesced;
+      Telem.recordEvent(Job->RequestId, RequestEventKind::Coalesced,
+                        Signature);
       return;
     }
   }
@@ -283,6 +314,8 @@ void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
   const double Inf = std::numeric_limits<double>::infinity();
   while (true) {
     ++Attempt;
+    Telem.recordEvent(Job->RequestId, RequestEventKind::AttemptStart,
+                      std::to_string(Attempt));
     double RemainingMs =
         Job->HasDeadline ? msBetween(Clock::now(), Job->Deadline) : Inf;
 
@@ -316,6 +349,8 @@ void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
       if (Meta.DeadlineDegraded) {
         Tallies.DeadlineDegraded.fetch_add(1, std::memory_order_relaxed);
         ++NumServiceDeadlineDegraded;
+        Telem.recordEvent(Job->RequestId, RequestEventKind::DeadlineBand,
+                          core::fallbackLevelName(Gen.StartRung));
         support::traceInstant(
             "service.deadline-degrade",
             {{"signature", Signature},
@@ -327,17 +362,24 @@ void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
     // feeds the expensive pipeline); after the cooldown the next request
     // becomes the half-open probe and runs the full pipeline.
     {
-      std::lock_guard<std::mutex> Guard(BreakersLock);
-      Breaker &B = Breakers[Signature];
-      if (B.S == Breaker::State::Open) {
-        if (++B.OpenServed >= Options.BreakerCooldownRequests) {
-          B.S = Breaker::State::HalfOpen;
-          B.OpenServed = 0;
-        } else {
-          Gen.StartRung = FallbackLevel::TtgtBaseline;
-          Meta.BreakerDegraded = true;
+      std::string Transition;
+      {
+        std::lock_guard<std::mutex> Guard(BreakersLock);
+        Breaker &B = Breakers[Signature];
+        if (B.S == BreakerState::Open) {
+          if (++B.OpenServed >= Options.BreakerCooldownRequests) {
+            B.S = BreakerState::HalfOpen;
+            B.OpenServed = 0;
+            Transition = "open->half-open";
+          } else {
+            Gen.StartRung = FallbackLevel::TtgtBaseline;
+            Meta.BreakerDegraded = true;
+          }
         }
       }
+      if (!Transition.empty())
+        Telem.recordEvent(Job->RequestId,
+                          RequestEventKind::BreakerTransition, Transition);
     }
 
     // Per-attempt chaos seed: deterministic in (base seed, signature,
@@ -371,30 +413,46 @@ void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
     bool Clean = Looked.hasValue() && Looked->VerifierRejections == 0 &&
                  Looked->LintRejections == 0;
     if (FeedBreaker) {
-      std::lock_guard<std::mutex> Guard(BreakersLock);
-      Breaker &B = Breakers[Signature];
-      if (Clean) {
-        if (B.S == Breaker::State::HalfOpen)
-          Tallies.BreakerResets.fetch_add(1, std::memory_order_relaxed);
-        B.S = Breaker::State::Closed;
-        B.ConsecutiveRejections = 0;
-      } else {
-        if (B.S == Breaker::State::HalfOpen ||
-            ++B.ConsecutiveRejections >= Options.BreakerThreshold) {
-          if (B.S != Breaker::State::Open) {
-            Tallies.BreakerTrips.fetch_add(1, std::memory_order_relaxed);
-            ++NumServiceBreakerTrips;
-            support::traceInstant("service.breaker-open",
-                                  {{"signature", Signature}});
-          }
-          B.S = Breaker::State::Open;
-          B.OpenServed = 0;
+      std::string Transition;
+      {
+        std::lock_guard<std::mutex> Guard(BreakersLock);
+        Breaker &B = Breakers[Signature];
+        const BreakerState Before = B.S;
+        if (Clean) {
+          if (B.S == BreakerState::HalfOpen)
+            Tallies.BreakerResets.fetch_add(1, std::memory_order_relaxed);
+          B.S = BreakerState::Closed;
           B.ConsecutiveRejections = 0;
+        } else {
+          if (B.S == BreakerState::HalfOpen ||
+              ++B.ConsecutiveRejections >= Options.BreakerThreshold) {
+            if (B.S != BreakerState::Open) {
+              Tallies.BreakerTrips.fetch_add(1, std::memory_order_relaxed);
+              ++NumServiceBreakerTrips;
+              support::traceInstant("service.breaker-open",
+                                    {{"signature", Signature}});
+            }
+            B.S = BreakerState::Open;
+            B.OpenServed = 0;
+            B.ConsecutiveRejections = 0;
+          }
         }
+        if (B.S != Before)
+          Transition = std::string(breakerStateName(Before)) + "->" +
+                       breakerStateName(B.S);
       }
+      if (!Transition.empty())
+        Telem.recordEvent(Job->RequestId,
+                          RequestEventKind::BreakerTransition, Transition);
     }
 
     if (Looked) {
+      if (Looked->CacheHit)
+        Telem.recordEvent(Job->RequestId, RequestEventKind::CacheHit,
+                          Signature);
+      if (Looked->Quarantined)
+        Telem.recordEvent(Job->RequestId, RequestEventKind::CacheQuarantine,
+                          Signature);
       Meta.Kernel = std::move(Looked->Kernel);
       Meta.Fallback = Looked->Fallback;
       Meta.CacheHit = Looked->CacheHit;
@@ -404,6 +462,8 @@ void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
     }
 
     Error Failure = Looked.takeError();
+    Telem.recordEvent(Job->RequestId, RequestEventKind::AttemptFailed,
+                      errorCodeName(Failure.code()));
     double RemainingAfter =
         Job->HasDeadline ? msBetween(Clock::now(), Job->Deadline) : Inf;
     bool Retryable = isTransient(Failure.code()) &&
@@ -425,6 +485,8 @@ void GenerationService::execute(const std::shared_ptr<PendingRequest> &Job) {
     support::traceInstant("service.retry",
                           {{"signature", Signature},
                            {"code", errorCodeName(Failure.code())}});
+    Telem.recordEvent(Job->RequestId, RequestEventKind::Backoff,
+                      std::to_string(BackoffMs));
     if (BackoffMs > 0.0)
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(BackoffMs));
@@ -475,9 +537,63 @@ ServiceStats GenerationService::stats() const {
   return Out;
 }
 
-std::vector<double> GenerationService::latencySnapshotMs() const {
-  std::lock_guard<std::mutex> Guard(LatencyLock);
-  return LatenciesMs;
+void GenerationService::syncRegistry() const {
+  support::MetricRegistry &R = Telem.registry();
+  const ServiceStats S = stats();
+  R.counter("service.submitted", "requests entering submit()")
+      .bridgeTo(S.Submitted);
+  R.counter("service.completed", "requests fulfilled with a plan")
+      .bridgeTo(S.Completed);
+  R.counter("service.failed", "requests fulfilled with a typed error")
+      .bridgeTo(S.Failed);
+  R.counter("service.shed-queue-full", "requests shed on a full intake queue")
+      .bridgeTo(S.ShedQueueFull);
+  R.counter("service.shed-overloaded",
+            "requests shed at the outstanding-work limit")
+      .bridgeTo(S.ShedOverloaded);
+  R.counter("service.shed-expired",
+            "requests shed with a pre-expired deadline")
+      .bridgeTo(S.ShedExpired);
+  R.counter("service.retries", "attempts re-run after a transient failure")
+      .bridgeTo(S.Retries);
+  R.counter("service.coalesced",
+            "requests that rode another request's generation")
+      .bridgeTo(S.Coalesced);
+  R.counter("service.breaker-trips", "circuit breakers tripped open")
+      .bridgeTo(S.BreakerTrips);
+  R.counter("service.breaker-resets",
+            "breakers closed again by a clean half-open probe")
+      .bridgeTo(S.BreakerResets);
+  R.counter("service.deadline-degraded",
+            "requests forced onto a degraded start rung by their deadline")
+      .bridgeTo(S.DeadlineDegraded);
+  R.counter("service.deadline-expired",
+            "requests whose deadline had fully expired before execution")
+      .bridgeTo(S.DeadlineExpired);
+  R.counter("telemetry.events-recorded", "lifecycle events recorded")
+      .bridgeTo(Telem.eventsRecorded());
+  R.counter("telemetry.events-dropped",
+            "events evicted from the bounded in-memory ring")
+      .bridgeTo(Telem.eventsDropped());
+  R.gauge("service.outstanding", "requests admitted but not yet fulfilled")
+      .set(static_cast<double>(Outstanding.load(std::memory_order_relaxed)));
+  {
+    std::lock_guard<std::mutex> Guard(QueueLock);
+    R.gauge("service.queue-depth", "requests waiting in the intake queue")
+        .set(static_cast<double>(Queue.size()));
+  }
+  Repo.mirrorMetrics(R);
+  support::bridgeProcessCounters(R);
+}
+
+std::string GenerationService::telemetrySnapshot() const {
+  syncRegistry();
+  return Telem.registry().renderJson();
+}
+
+std::string GenerationService::telemetryPrometheus() const {
+  syncRegistry();
+  return Telem.registry().renderPrometheus();
 }
 
 double GenerationService::percentileMs(std::vector<double> SamplesMs,

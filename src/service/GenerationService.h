@@ -43,6 +43,7 @@
 #include "core/Cogent.h"
 #include "core/KernelRepository.h"
 #include "gpu/DeviceSpec.h"
+#include "service/Telemetry.h"
 #include "support/Diagnostics.h"
 
 #include <atomic>
@@ -93,8 +94,9 @@ struct ServiceOptions {
   unsigned BreakerCooldownRequests = 8;
   /// Shards in the plan cache.
   size_t NumShards = 16;
-  /// Completed-request latency samples retained for percentile reports.
-  size_t LatencyCapacity = 1 << 16;
+  /// Observability: event-ring capacity, histogram sharding, optional
+  /// JSON-lines event sink (see service/Telemetry.h).
+  TelemetryOptions Telemetry;
   /// Base options for every generation run (element size, lint mode,
   /// chaos, ...). Budget/StartRung fields are overwritten per request by
   /// the deadline/breaker machinery.
@@ -125,6 +127,9 @@ struct ServiceRequest {
 
 /// A completed request's payload plus how the service produced it.
 struct ServiceResult {
+  /// The service-assigned request id; keys this request's event timeline
+  /// in the telemetry log.
+  uint64_t RequestId = 0;
   core::GeneratedKernel Kernel;
   core::FallbackLevel Fallback = core::FallbackLevel::None;
   /// Served from a checksum-valid cache entry.
@@ -217,10 +222,25 @@ public:
   const core::ShardedKernelRepository &repository() const { return Repo; }
   const gpu::DeviceSpec &device() const { return Generator.device(); }
 
-  /// Copy of the retained completion latencies (ms), unsorted.
-  std::vector<double> latencySnapshotMs() const;
+  /// The telemetry hub: event timeline, metric registry, request ids.
+  ServiceTelemetry &telemetry() { return Telem; }
+  const ServiceTelemetry &telemetry() const { return Telem; }
+
+  /// Point-in-time JSON snapshot of the whole registry (stats, cache and
+  /// process counters bridged in, queue gauges refreshed, latency /
+  /// queue-wait histograms): one {"counters":..,"gauges":..,
+  /// "histograms":..} object. The cogent_cli --telemetry-json payload.
+  std::string telemetrySnapshot() const;
+
+  /// The same registry state in Prometheus text exposition format.
+  std::string telemetryPrometheus() const;
 
   /// The \p P-th percentile (0..100) of \p SamplesMs; 0 when empty.
+  /// Deprecated for service-side latency reporting — the service now keeps
+  /// bounded histograms (telemetrySnapshot) instead of raw samples; this
+  /// exact-sort helper remains for callers that collect their own samples
+  /// (bench_service's warm-up slicing) and as the tests' reference
+  /// implementation for the histogram error bound.
   static double percentileMs(std::vector<double> SamplesMs, double P);
 
 private:
@@ -228,6 +248,10 @@ private:
   void execute(const std::shared_ptr<PendingRequest> &Job);
   void fulfill(const std::shared_ptr<PendingRequest> &Job,
                ErrorOr<ServiceResult> Outcome);
+  /// Bridges Tallies, cache stats and the process counter table into the
+  /// telemetry registry and refreshes the liveness gauges; both exporters
+  /// call this so a snapshot is always current.
+  void syncRegistry() const;
 
   ServiceOptions Options;
   core::Cogent Generator;
@@ -250,18 +274,18 @@ private:
   std::unordered_map<std::string, Flight> Flights;
 
   /// Per-signature circuit breaker (see docs/ARCHITECTURE.md §15 for the
-  /// state machine).
+  /// state machine; states/labels in service/Telemetry.h).
   struct Breaker {
-    enum class State { Closed, Open, HalfOpen };
-    State S = State::Closed;
+    BreakerState S = BreakerState::Closed;
     unsigned ConsecutiveRejections = 0;
     unsigned OpenServed = 0;
   };
   mutable std::mutex BreakersLock;
   std::unordered_map<std::string, Breaker> Breakers;
 
-  mutable std::mutex LatencyLock;
-  std::vector<double> LatenciesMs;
+  /// Mutable so the const exporters can bridge tallies into the registry
+  /// (monotonic ratchets; logically read-only).
+  mutable ServiceTelemetry Telem;
 
   struct AtomicStats {
     std::atomic<uint64_t> Submitted{0}, Completed{0}, Failed{0},

@@ -7,6 +7,7 @@
 #include "support/Counters.h"
 
 #include "support/JsonWriter.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <cstring>
@@ -104,4 +105,13 @@ void cogent::support::writeCountersJson(JsonWriter &W,
   for (const CounterValue &Entry : Snapshot)
     W.member(Entry.Name, Entry.Value);
   W.endObject();
+}
+
+void cogent::support::bridgeProcessCounters(MetricRegistry &Registry,
+                                            const std::string &Prefix) {
+  // bridgeTo only ratchets upward, so repeated bridging of the monotonic
+  // process table is idempotent per value and safe from any thread.
+  for (const CounterValue &Entry : snapshotCounters())
+    Registry.counter(Prefix + Entry.Name, Entry.Description)
+        .bridgeTo(Entry.Value);
 }

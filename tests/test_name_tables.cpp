@@ -17,7 +17,9 @@
 #include "core/Cogent.h"
 #include "core/Enumerator.h"
 #include "gpu/PerfModel.h"
+#include "service/Telemetry.h"
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -189,6 +191,78 @@ TEST(NameTables, EstimateKernelTimePicksBoundFromTable) {
                "compute");
   EXPECT_STREQ(gpu::estimateKernelTime(Device, Calib, SmemHeavy).Bound,
                "smem");
+}
+
+TEST(NameTables, MetricKindRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < support::NumMetricKinds; ++I) {
+    auto Kind = static_cast<support::MetricKind>(I);
+    const char *Name = support::metricKindName(Kind);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "unknown") << "kind " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate metric kind name '" << Name << "'";
+    auto Back = support::metricKindFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Kind);
+  }
+  EXPECT_FALSE(support::metricKindFromName("").has_value());
+  EXPECT_FALSE(support::metricKindFromName("Counter").has_value());
+  EXPECT_FALSE(support::metricKindFromName("histogram ").has_value());
+}
+
+TEST(NameTables, RequestEventKindRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < service::NumRequestEventKinds; ++I) {
+    auto Kind = static_cast<service::RequestEventKind>(I);
+    const char *Name = service::requestEventKindName(Kind);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "unknown") << "kind " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate event kind name '" << Name << "'";
+    auto Back = service::requestEventKindFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Kind);
+  }
+  EXPECT_FALSE(service::requestEventKindFromName("").has_value());
+  EXPECT_FALSE(service::requestEventKindFromName("Submitted").has_value());
+  EXPECT_FALSE(service::requestEventKindFromName("shed ").has_value());
+}
+
+// The timeline-completeness law leans on exactly this terminal set; a new
+// terminal kind must update both isTerminalEvent and the chaos tests.
+TEST(NameTables, RequestEventTerminalSetIsPinned) {
+  unsigned Terminals = 0;
+  for (unsigned I = 0; I < service::NumRequestEventKinds; ++I)
+    Terminals +=
+        service::isTerminalEvent(static_cast<service::RequestEventKind>(I))
+            ? 1
+            : 0;
+  EXPECT_EQ(Terminals, 3u);
+  EXPECT_TRUE(service::isTerminalEvent(service::RequestEventKind::Shed));
+  EXPECT_TRUE(service::isTerminalEvent(service::RequestEventKind::Completed));
+  EXPECT_TRUE(service::isTerminalEvent(service::RequestEventKind::Failed));
+  EXPECT_FALSE(
+      service::isTerminalEvent(service::RequestEventKind::Submitted));
+  EXPECT_FALSE(service::isTerminalEvent(service::RequestEventKind::Backoff));
+}
+
+TEST(NameTables, BreakerStateRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < service::NumBreakerStates; ++I) {
+    auto State = static_cast<service::BreakerState>(I);
+    const char *Name = service::breakerStateName(State);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "unknown") << "state " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate breaker state name '" << Name << "'";
+    auto Back = service::breakerStateFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, State);
+  }
+  EXPECT_FALSE(service::breakerStateFromName("").has_value());
+  EXPECT_FALSE(service::breakerStateFromName("half_open").has_value());
+  EXPECT_FALSE(service::breakerStateFromName("OPEN").has_value());
 }
 
 } // namespace
