@@ -23,6 +23,7 @@
 #include "BenchCommon.h"
 #include "service/GenerationService.h"
 #include "suite/TccgSuite.h"
+#include "support/Counters.h"
 #include "support/JsonWriter.h"
 #include "support/Metrics.h"
 
@@ -219,6 +220,20 @@ int main(int Argc, char **Argv) {
   W.member("throughput_req_per_s", Throughput);
   W.member("latency_p50_ms", P50);
   W.member("latency_p99_ms", P99);
+  // Race-prover totals across every generation this process ran (warm-up
+  // plus steady; cache hits generate nothing). The TCCG suite is proven
+  // race-clean, so bench_compare holds race_rejections to exactly zero
+  // alongside the schema check (findings may carry benign warnings).
+  uint64_t RaceFindings = 0;
+  uint64_t RaceRejections = 0;
+  for (const support::CounterValue &C : support::snapshotCounters()) {
+    if (std::strcmp(C.Name, "race.findings") == 0)
+      RaceFindings = C.Value;
+    else if (std::strcmp(C.Name, "race.rejections") == 0)
+      RaceRejections = C.Value;
+  }
+  W.member("race_findings", RaceFindings);
+  W.member("race_rejections", RaceRejections);
   W.key("stats");
   W.beginObject();
   W.member("submitted", Stats.Submitted);

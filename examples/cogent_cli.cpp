@@ -16,7 +16,7 @@
 ///              [--smem-per-block N] [--transaction-bytes N]
 ///              [--chaos-seed N] [--chaos-sites LIST]
 ///              [--lint=off|warn|strict] [--explain-lint]
-///              [--explain-dataflow] [--pressure-ranking]
+///              [--explain-races] [--explain-dataflow] [--pressure-ranking]
 ///              [--trace=FILE] [--metrics=FILE] [--quiet]
 /// Examples:
 ///   cogent_cli abcd-aebf-dfce 72
@@ -85,6 +85,7 @@
 
 #include "analysis/KernelDataflow.h"
 #include "analysis/KernelLint.h"
+#include "analysis/KernelRaceProver.h"
 #include "core/Cogent.h"
 #include "core/KernelPlan.h"
 #include "gpu/DeviceSpec.h"
@@ -115,7 +116,8 @@ static void printUsage(const char *Argv0) {
                "[--smem-per-block N] [--transaction-bytes N] "
                "[--chaos-seed N] [--chaos-sites LIST] "
                "[--lint=off|warn|strict] [--explain-lint] "
-               "[--explain-dataflow] [--pressure-ranking] [--trace=FILE] "
+               "[--explain-races] [--explain-dataflow] [--pressure-ranking] "
+               "[--trace=FILE] "
                "[--metrics=FILE] [--quiet]\n"
                "       %s --batch-file FILE [--jobs N] "
                "[--request-deadline-ms M] [--telemetry-json FILE] "
@@ -304,6 +306,7 @@ int main(int Argc, char **Argv) {
   bool UseDoubleBuffer = false;
   bool Explain = false;
   bool ExplainLint = false;
+  bool ExplainRaces = false;
   bool ExplainDataflow = false;
   bool Quiet = false;
   std::string TracePath;
@@ -355,6 +358,8 @@ int main(int Argc, char **Argv) {
       Explain = true;
     } else if (Arg == "--explain-lint") {
       ExplainLint = true;
+    } else if (Arg == "--explain-races") {
+      ExplainRaces = true;
     } else if (Arg == "--explain-dataflow") {
       ExplainDataflow = true;
     } else if (Arg == "--pressure-ranking") {
@@ -552,6 +557,15 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n",
                  analysis::explainLint(
                      Plan, Result->best().Source.KernelSource, LintOpts)
+                     .c_str());
+  }
+  if (ExplainRaces && !Quiet) {
+    core::KernelPlan Plan(PlanTC, Result->best().Config);
+    analysis::RaceProverOptions RaceOpts;
+    RaceOpts.WarpSize = Device.WarpSize;
+    std::fprintf(stderr, "%s\n",
+                 analysis::explainRaces(
+                     Plan, Result->best().Source.KernelSource, RaceOpts)
                      .c_str());
   }
   if (ExplainDataflow && !Quiet) {

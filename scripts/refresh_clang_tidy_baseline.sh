@@ -1,0 +1,44 @@
+#!/bin/sh
+# Regenerates scripts/clang_tidy_baseline.txt — the checked-in baseline
+# the enforced static-analysis lane in scripts/run_all.sh compares fresh
+# clang-tidy findings against. Run this from the repo root after
+# deliberately accepting new findings (or after fixing baselined ones, to
+# shrink the file); review the diff before committing, since every line
+# added here is a finding the lane will stop reporting.
+#
+# Uses the exact same normalization pipeline as run_all.sh: repo-relative
+# paths, line:column numbers stripped (pure line drift cannot churn the
+# baseline), sort -u to collapse findings repeated across translation
+# units.
+set -eu
+
+cd "$(dirname "$0")/.."
+TIDY_BASELINE=scripts/clang_tidy_baseline.txt
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "refresh_clang_tidy_baseline: clang-tidy not installed" >&2
+  exit 1
+fi
+if [ ! -f build/compile_commands.json ]; then
+  echo "refresh_clang_tidy_baseline: build/compile_commands.json missing" >&2
+  echo "  (configure first: cmake -S . -B build)" >&2
+  exit 1
+fi
+
+find src -name '*.cpp' -print0 \
+  | xargs -0 clang-tidy -p build --quiet 2>&1 | tee lint_output.txt || true
+grep -E '(warning|error):' lint_output.txt \
+  | sed -E "s|^$(pwd)/||; s|^([^:]+):[0-9]+:[0-9]+:|\1:|" \
+  | sort -u > lint_findings.txt || true
+
+# Preserve the baseline's leading comment block, then splice in the
+# freshly normalized findings.
+{
+  grep -E '^#' "$TIDY_BASELINE" 2>/dev/null || true
+  cat lint_findings.txt
+} > "$TIDY_BASELINE.tmp"
+mv "$TIDY_BASELINE.tmp" "$TIDY_BASELINE"
+rm -f lint_output.txt lint_findings.txt
+
+count=$(grep -cvE '^#|^$' "$TIDY_BASELINE" || true)
+echo "refresh_clang_tidy_baseline: wrote $count finding(s) to $TIDY_BASELINE"

@@ -81,10 +81,31 @@ ctest --test-dir build 2>&1 | tee -a test_output.txt
 # Fuzz smoke test under AddressSanitizer + UBSan: the whole-pipeline fuzz
 # harness re-runs in an instrumented tree so memory errors and signed
 # overflow surface even when the uninstrumented asserts stay quiet.
-configure build-asan -DCOGENT_SANITIZE=ON
+configure build-asan -DCOGENT_SANITIZE=address
 cmake --build build-asan --target test_fuzz_pipeline
 ctest --test-dir build-asan -R test_fuzz_pipeline --output-on-failure \
   2>&1 | tee asan_output.txt
+
+# ThreadSanitizer lane for the concurrent service layer: the worker pool,
+# sharded cache, telemetry registry and counter scopes re-run instrumented
+# so cross-thread ordering bugs surface as TSan reports instead of flaky
+# tests. Skips gracefully when the toolchain cannot link TSan binaries
+# (minimal containers ship no libtsan) — probe first, never half-fail.
+if echo 'int main(){return 0;}' > /tmp/tsan_probe.cpp \
+    && c++ -fsanitize=thread /tmp/tsan_probe.cpp -o /tmp/tsan_probe \
+       >/dev/null 2>&1; then
+  rm -f /tmp/tsan_probe /tmp/tsan_probe.cpp
+  configure build-tsan -DCOGENT_SANITIZE=thread
+  cmake --build build-tsan --target test_service test_service_chaos \
+    test_telemetry 2>/dev/null \
+    || cmake --build build-tsan --target test_service test_telemetry
+  ctest --test-dir build-tsan -R 'test_service|test_telemetry' \
+    --output-on-failure 2>&1 | tee tsan_output.txt
+  echo "tsan lane: service tests clean under ThreadSanitizer"
+else
+  rm -f /tmp/tsan_probe /tmp/tsan_probe.cpp
+  echo "tsan lane: skipped (toolchain cannot link -fsanitize=thread)"
+fi
 
 JSON_LINT=build/tools/json_lint
 

@@ -6,6 +6,8 @@
 
 #include "analysis/KernelLint.h"
 
+#include "analysis/KernelRaceProver.h"
+
 #include "analysis/KernelDataflow.h"
 #include "core/CostModel.h"
 #include "support/Counters.h"
@@ -38,7 +40,8 @@ constexpr const char *PassNames[NumLintPasses] = {
     "structure",      "barrier-placement", "bank-conflict",
     "coalescing",     "bounds-check",      "resource-decl",
     "register-pressure", "redundant-barrier", "dead-store",
-    "smem-lifetime",
+    "smem-lifetime",  "uniformity",        "race-freedom",
+    "barrier-uniformity",
 };
 
 constexpr const char *ModeNames[3] = {"off", "warn", "strict"};
@@ -1012,6 +1015,40 @@ void passSmemLifetime(LintContext &C, const DataflowInfo &Flow) {
 }
 
 //===----------------------------------------------------------------------===//
+// Race prover passes (11-13): Uniformity / RaceFreedom / BarrierUniformity
+//===----------------------------------------------------------------------===//
+
+void passRaceProver(LintContext &C, const DataflowInfo &Flow) {
+  RaceProverOptions Opts;
+  Opts.WarpSize = C.Opts.WarpSize;
+  RaceReport Report = proveRaces(C.Plan, C.M, Flow, Opts);
+  for (const RaceFinding &F : Report.Findings) {
+    LintPass Pass = LintPass::RaceFreedom;
+    LintSeverity Severity = LintSeverity::Error;
+    switch (F.Kind) {
+    case RaceFindingKind::NonUniformValue:
+      Pass = LintPass::Uniformity;
+      break;
+    case RaceFindingKind::UnknownUniformity:
+      Pass = LintPass::Uniformity;
+      Severity = LintSeverity::Warning;
+      break;
+    case RaceFindingKind::DivergentBarrier:
+      Pass = LintPass::BarrierUniformity;
+      break;
+    case RaceFindingKind::UnprovenAccess:
+      Severity = LintSeverity::Warning;
+      break;
+    case RaceFindingKind::WriteWriteRace:
+    case RaceFindingKind::WriteReadRace:
+    case RaceFindingKind::NonAffineAccess:
+      break;
+    }
+    C.report(Pass, F.Line, F.render(), Severity);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // lintKernel
 //===----------------------------------------------------------------------===//
 
@@ -1040,6 +1077,11 @@ cogent::analysis::lintPassFromName(const std::string &Name) {
     if (Name == PassNames[I])
       return static_cast<LintPass>(I);
   return std::nullopt;
+}
+
+bool cogent::analysis::isRacePass(LintPass Pass) {
+  return Pass == LintPass::Uniformity || Pass == LintPass::RaceFreedom ||
+         Pass == LintPass::BarrierUniformity;
 }
 
 const char *cogent::analysis::lintSeverityName(LintSeverity Severity) {
@@ -1098,6 +1140,7 @@ LintReport cogent::analysis::lintKernel(const KernelPlan &Plan,
     passRedundantBarrier(Ctx, *Flow);
     passDeadStore(Ctx, *Flow);
     passSmemLifetime(Ctx, *Flow);
+    passRaceProver(Ctx, *Flow);
   }
   dedupeFindings(Report.Findings);
   NumLintFindingsTotal += Report.Findings.size();

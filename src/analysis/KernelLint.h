@@ -33,6 +33,12 @@
 ///     before any definition; no register tile may be staged yet unread.
 ///   SmemLifetime     — staging buffers must be both written and read;
 ///     disjoint A/B live ranges are surfaced as a reuse note.
+///   Uniformity       — taint classes: tile bases, trip counts and stride
+///     variables must be thread-uniform (KernelRaceProver).
+///   RaceFreedom      — symbolic two-thread proof that no same-interval
+///     SMEM/GMEM access pair can alias across threads (KernelRaceProver).
+///   BarrierUniformity— every barrier sits under uniform control only
+///     (KernelRaceProver).
 ///
 /// Findings are typed (pass + severity + message + line) and deliberately
 /// fire only on plan-vs-source inconsistency, never on inherent layout
@@ -66,16 +72,24 @@ enum class LintPass {
   RedundantBarrier, ///< Barriers that order no SMEM dependence.
   DeadStore,        ///< Writes never read; reads never written.
   SmemLifetime,     ///< Staging-buffer live ranges and reuse notes.
+  Uniformity,       ///< Taint classes of schema-uniform/thread roles.
+  RaceFreedom,      ///< Symbolic two-thread SMEM/GMEM race proof.
+  BarrierUniformity,///< Every barrier under thread-uniform control.
 };
 
 /// Number of LintPass enumerators (name-table round-trip tests walk this).
-inline constexpr unsigned NumLintPasses = 10;
+inline constexpr unsigned NumLintPasses = 13;
 
 /// Stable identifier, e.g. "barrier-placement".
 const char *lintPassName(LintPass Pass);
 
 /// Inverse of lintPassName; returns std::nullopt for unknown names.
 std::optional<LintPass> lintPassFromName(const std::string &Name);
+
+/// True for the three KernelRaceProver-backed passes (11-13): Uniformity,
+/// RaceFreedom and BarrierUniformity. The generation gate counts their
+/// findings separately (GenerationResult::RaceFindings/RaceRejections).
+bool isRacePass(LintPass Pass);
 
 enum class LintSeverity { Warning, Error };
 

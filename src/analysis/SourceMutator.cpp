@@ -75,6 +75,24 @@ const char *cogent::analysis::mutationKindName(MutationKind Kind) {
     return "retarget-compute-read-b";
   case MutationKind::RetargetStagingStore:
     return "retarget-staging-store";
+  case MutationKind::TaintBlockBase:
+    return "taint-block-base";
+  case MutationKind::TaintStepBase:
+    return "taint-step-base";
+  case MutationKind::TaintStepCount:
+    return "taint-step-count";
+  case MutationKind::UniformizeSliceInit:
+    return "uniformize-slice-init";
+  case MutationKind::CollapseSmemWriteStride:
+    return "collapse-smem-write-stride";
+  case MutationKind::DropStoreCoordinate:
+    return "drop-store-coordinate";
+  case MutationKind::GuardBarrierOddTid:
+    return "guard-barrier-odd-tid";
+  case MutationKind::GuardBarrierHalfTile:
+    return "guard-barrier-half-tile";
+  case MutationKind::DivergeStepLoop:
+    return "diverge-step-loop";
   }
   assert(false && "unknown mutation kind");
   return "?";
@@ -471,6 +489,90 @@ std::string cogent::analysis::applyMutation(const std::string &KernelSource,
     if (Pos == std::string::npos)
       return S;
     flipBufferAt(S, Pos);
+    return S;
+  }
+  case MutationKind::TaintBlockBase: {
+    // `base_a = (blk % nt_a) * 16;` -> `... * 16 + (tid % 2);`
+    size_t Pos = findFirst(S, "= (blk % nt_");
+    if (Pos == std::string::npos)
+      return S;
+    size_t Semi = S.find(';', Pos);
+    if (Semi == std::string::npos || Semi > lineEndAt(S, Pos))
+      return S;
+    S.insert(Semi, " + (tid % 2)");
+    return S;
+  }
+  case MutationKind::TaintStepBase: {
+    size_t Pos = findFirst(S, "= (sq % ns_");
+    if (Pos == std::string::npos)
+      return S;
+    size_t Semi = S.find(';', Pos);
+    if (Semi == std::string::npos || Semi > lineEndAt(S, Pos))
+      return S;
+    S.insert(Semi, " + (tid % 2)");
+    return S;
+  }
+  case MutationKind::TaintStepCount: {
+    size_t Pos = findFirst(S, "numSteps = 1;");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos, 13, "numSteps = 1 + (tid % 2);");
+    return S;
+  }
+  case MutationKind::UniformizeSliceInit: {
+    size_t Pos = findFirst(S, "for (int l = tid;");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos, 17, "for (int l = 0;");
+    return S;
+  }
+  case MutationKind::CollapseSmemWriteStride: {
+    size_t Pos = findStagingStore(S);
+    if (Pos == std::string::npos)
+      return S;
+    size_t Close = S.find("] = ", Pos);
+    if (Close == std::string::npos)
+      return S;
+    // Flatten the *second* stride so two decode coordinates alias.
+    size_t First = S.find(" * ", Pos);
+    if (First == std::string::npos || First >= Close)
+      return S;
+    adjustNumberAfter(S, First + 3, Close, " * ",
+                      [](int64_t) -> int64_t { return 1; });
+    return S;
+  }
+  case MutationKind::DropStoreCoordinate: {
+    // `gc_a = base_a + t_a;` -> `gc_a = base_a;` (two threads now share
+    // a store address whenever their other coordinates agree).
+    size_t Pos = 0;
+    while ((Pos = S.find(" gc_", Pos)) != std::string::npos) {
+      size_t End = lineEndAt(S, Pos);
+      size_t Term = S.find(" + t_", Pos);
+      if (Term != std::string::npos && Term < End) {
+        S.erase(Term, 6); // " + t_x"
+        return S;
+      }
+      Pos = End;
+    }
+    return S;
+  }
+  case MutationKind::GuardBarrierOddTid: {
+    if (!Bar)
+      return S;
+    return replaceLineAt(S, S.find(Bar),
+                         std::string("if (tid % 2 == 0) { ") + Bar + " }");
+  }
+  case MutationKind::GuardBarrierHalfTile: {
+    if (!Bar)
+      return S;
+    return replaceLineAt(S, S.rfind(Bar),
+                         std::string("if (t_a < 8) { ") + Bar + " }");
+  }
+  case MutationKind::DivergeStepLoop: {
+    size_t Pos = findFirst(S, "step < numSteps");
+    if (Pos == std::string::npos)
+      return S;
+    S.replace(Pos, 15, "step < numSteps + tid % 2");
     return S;
   }
   }

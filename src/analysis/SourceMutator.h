@@ -67,10 +67,22 @@ enum class MutationKind : unsigned {
   RetargetComputeReadA, ///< Read r_A's staging from the other buffer.
   RetargetComputeReadB, ///< Read r_B's staging from the other buffer.
   RetargetStagingStore, ///< Store s_B's slice into s_A instead.
+  // Uniformity kills (KernelRaceProver taint analysis).
+  TaintBlockBase,  ///< Mix `tid` into the first block-tile base.
+  TaintStepBase,   ///< Mix `tid` into the first k-slice base.
+  TaintStepCount,  ///< Make the step-loop trip count thread-dependent.
+  // RaceFreedom kills (symbolic two-thread solver).
+  UniformizeSliceInit,    ///< Start the staging loop at 0 for every thread.
+  CollapseSmemWriteStride,///< Flatten one staging-store stride to 1.
+  DropStoreCoordinate,    ///< Drop a `+ t_x` term from a store coordinate.
+  // BarrierUniformity kills (divergence prover).
+  GuardBarrierOddTid,   ///< First barrier only for even tids.
+  GuardBarrierHalfTile, ///< Last barrier only for half the thread tile.
+  DivergeStepLoop,      ///< Thread-dependent step-loop bound (barrier in it).
 };
 
 /// Number of MutationKind enumerators.
-inline constexpr unsigned NumMutationKinds = 30;
+inline constexpr unsigned NumMutationKinds = 39;
 
 /// Stable identifier, e.g. "drop-first-barrier".
 const char *mutationKindName(MutationKind Kind);

@@ -37,6 +37,8 @@ COGENT_COUNTER(NumVerifierDemotions, "cogent.verifier-demotions",
                "fallback-rung demotions caused by verification failures");
 COGENT_COUNTER(NumLintRejections, "lint.rejections",
                "emitted sources rejected by the strict KernelLint gate");
+COGENT_COUNTER(NumRaceRejections, "race.rejections",
+               "strict-gate rejections carrying a race-prover error");
 
 const char *cogent::core::fallbackLevelName(FallbackLevel Level) {
   switch (Level) {
@@ -336,12 +338,26 @@ ErrorOr<GenerationResult> Cogent::generate(const Contraction &TC,
           continue;
         analysis::LintReport Report =
             analysis::lintKernel(Plan, Kernel.Source.KernelSource, LintOpts);
+        uint64_t RaceErrors = 0;
+        for (const analysis::LintFinding &F : Report.Findings) {
+          if (!analysis::isRacePass(F.Pass))
+            continue;
+          ++Result.RaceFindings;
+          RaceErrors += F.Severity == analysis::LintSeverity::Error;
+        }
         if (LintOpts.Mode == analysis::LintMode::Strict &&
             Report.errorCount() > 0) {
           // A lint rejection re-emits like a verifier rejection; when the
           // retries run out the rung demotes down the fallback chain.
           SourceOk = false;
           NoteLintRejection(Report);
+          if (RaceErrors > 0) {
+            ++Result.RaceRejections;
+            ++NumRaceRejections;
+            support::traceInstant(
+                "cogent.race-reject",
+                {{"findings", std::to_string(RaceErrors)}});
+          }
           continue;
         }
         Kernel.SourcePressure = Report.SourcePressure;
@@ -555,6 +571,8 @@ std::string cogent::core::renderMetricsJson(const Contraction &TC,
   W.member("enumeration_aborted", Result.EnumerationAborted);
   W.member("device_mutated", Result.DeviceMutated);
   W.member("lint_rejections", Result.LintRejections);
+  W.member("race_findings", Result.RaceFindings);
+  W.member("race_rejections", Result.RaceRejections);
   W.member("pressure_ranking", Result.PressureRanking);
 
   W.key("lint_findings");

@@ -194,6 +194,12 @@ struct GenerationResult {
   uint64_t LintRejections = 0;
   /// Rendered first findings of the first few lint rejections.
   std::vector<std::string> LintNotes;
+  /// Findings attributed to the race-prover passes (uniformity /
+  /// race-freedom / barrier-uniformity) across this run, accepted or not.
+  uint64_t RaceFindings = 0;
+  /// Strict-gate rejections whose findings included at least one
+  /// race-prover error (subset of LintRejections).
+  uint64_t RaceRejections = 0;
   /// True when enumeration died mid-search (allocation failure — real or
   /// chaos-injected) and the run restarted on the fallback chain.
   bool EnumerationAborted = false;

@@ -107,6 +107,15 @@ const std::vector<std::pair<MutationKind, LintPass>> &killMatrix() {
       {MutationKind::RetargetComputeReadA, LintPass::SmemLifetime},
       {MutationKind::RetargetComputeReadB, LintPass::SmemLifetime},
       {MutationKind::RetargetStagingStore, LintPass::SmemLifetime},
+      {MutationKind::TaintBlockBase, LintPass::Uniformity},
+      {MutationKind::TaintStepBase, LintPass::Uniformity},
+      {MutationKind::TaintStepCount, LintPass::Uniformity},
+      {MutationKind::UniformizeSliceInit, LintPass::RaceFreedom},
+      {MutationKind::CollapseSmemWriteStride, LintPass::RaceFreedom},
+      {MutationKind::DropStoreCoordinate, LintPass::RaceFreedom},
+      {MutationKind::GuardBarrierOddTid, LintPass::BarrierUniformity},
+      {MutationKind::GuardBarrierHalfTile, LintPass::BarrierUniformity},
+      {MutationKind::DivergeStepLoop, LintPass::BarrierUniformity},
   };
   return Matrix;
 }
@@ -158,7 +167,8 @@ TEST(KernelLint, MutationCorpusKillMatrix) {
        {LintPass::BarrierPlacement, LintPass::BankConflict,
         LintPass::Coalescing, LintPass::BoundsCheck, LintPass::ResourceDecl,
         LintPass::RegisterPressure, LintPass::RedundantBarrier,
-        LintPass::DeadStore, LintPass::SmemLifetime})
+        LintPass::DeadStore, LintPass::SmemLifetime, LintPass::Uniformity,
+        LintPass::RaceFreedom, LintPass::BarrierUniformity})
     EXPECT_GE(KillsPerPass[Pass], 3u) << analysis::lintPassName(Pass);
 }
 

@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelRaceProver.h"
 #include "core/Cogent.h"
 #include "core/Enumerator.h"
 #include "gpu/PerfModel.h"
@@ -107,6 +108,43 @@ TEST(NameTables, ParseChaosSitesAcceptsListsRejectsUnknowns) {
   EXPECT_FALSE(support::parseChaosSites("no-such-site").has_value());
   EXPECT_FALSE(support::parseChaosSites("cost-perturb,bogus").has_value());
   EXPECT_FALSE(support::parseChaosSites("").has_value());
+}
+
+TEST(NameTables, UniformityRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < analysis::NumUniformityClasses; ++I) {
+    auto U = static_cast<analysis::Uniformity>(I);
+    const char *Name = analysis::uniformityName(U);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "class " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate uniformity name '" << Name << "'";
+    auto Back = analysis::uniformityFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, U);
+  }
+  EXPECT_FALSE(analysis::uniformityFromName("").has_value());
+  EXPECT_FALSE(analysis::uniformityFromName("?").has_value());
+  EXPECT_FALSE(analysis::uniformityFromName("Uniform").has_value());
+}
+
+TEST(NameTables, RaceFindingKindRoundTrips) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < analysis::NumRaceFindingKinds; ++I) {
+    auto Kind = static_cast<analysis::RaceFindingKind>(I);
+    const char *Name = analysis::raceFindingKindName(Kind);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "kind " << I << " has no table entry";
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate race finding kind name '" << Name << "'";
+    auto Back = analysis::raceFindingKindFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Kind);
+  }
+  EXPECT_FALSE(analysis::raceFindingKindFromName("").has_value());
+  EXPECT_FALSE(analysis::raceFindingKindFromName("?").has_value());
+  EXPECT_FALSE(
+      analysis::raceFindingKindFromName("write-write-race ").has_value());
 }
 
 TEST(NameTables, ErrorCodeRoundTrips) {

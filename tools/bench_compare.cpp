@@ -84,12 +84,17 @@ const char *const StatKeys[] = {
     "breaker_resets",  "deadline_degraded", "deadline_expired",
 };
 
-/// Top-level numeric keys a report must carry.
+/// Top-level numeric keys a report must carry. race_findings /
+/// race_rejections are the race-prover lint totals across the run
+/// (KernelLint passes 11-13); findings may include benign warnings but a
+/// rejection means the strict gate threw away a kernel for a proven race
+/// or divergent barrier, which the TCCG suite must never produce.
 const char *const NumberKeys[] = {
     "workers",           "client_threads", "requests_per_client",
     "deadline_ms",       "warmup_requests", "warmup_ms",
     "warmup_failures",   "steady_requests", "steady_ms",
     "throughput_req_per_s", "latency_p50_ms", "latency_p99_ms",
+    "race_findings",     "race_rejections",
 };
 
 /// Validates one parsed report; prints one line per violation. Returns
@@ -146,6 +151,14 @@ int checkSchema(const JsonValue &Report, const std::string &Label) {
     Complain("stats conservation violated: submitted=" +
              std::to_string(Submitted) + " != completed+failed+shed=" +
              std::to_string(Accounted));
+
+  // The race gate: a strict-gate race rejection in a benchmark run means
+  // the generator emitted (and discarded) a kernel with a proven data
+  // race or divergent barrier — a generator regression, never noise.
+  double RaceRejections = Report.findNumber("race_rejections").value_or(0.0);
+  if (RaceRejections != 0.0)
+    Complain("race_rejections must be zero, got " +
+             std::to_string(RaceRejections));
   return Violations;
 }
 
